@@ -1,0 +1,76 @@
+// Command lmbench runs the LmBench-style microbenchmark suite against
+// one simulated machine and kernel configuration.
+//
+// Usage:
+//
+//	lmbench -cpu 604/185 -config optimized
+//	lmbench -cpu 603/133 -config unoptimized -counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/lmbench"
+	"mmutricks/internal/machine"
+)
+
+func main() {
+	var (
+		cpu      = flag.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
+		cfgName  = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
+		iters    = flag.Int("iters", 100, "iteration count for latency benchmarks")
+		mmapPg   = flag.Int("mmap-pages", 1024, "pages mapped by the mmap-latency benchmark")
+		counters = flag.Bool("counters", false, "dump performance-monitor counters after the run")
+	)
+	flag.Parse()
+
+	model, ok := clock.ModelByName(*cpu)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lmbench: unknown cpu %q\n", *cpu)
+		os.Exit(1)
+	}
+	cfg, ok := kernel.Named(*cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lmbench: unknown config %q\n", *cfgName)
+		os.Exit(1)
+	}
+
+	k := kernel.New(machine.New(model), cfg)
+	s := lmbench.New(k)
+
+	fmt.Printf("machine: %s   kernel: %s\n\n", model.Name, *cfgName)
+	results := []lmbench.Result{
+		s.NullSyscall(*iters),
+		s.ProcStart(max(2, *iters/10)),
+		s.CtxSwitch(2, 0, *iters/2),
+		s.CtxSwitch(8, 4, *iters/4),
+		s.PipeLatency(*iters / 2),
+		s.PipeBandwidth(2 << 20),
+		s.FileReread(256, 4),
+		s.MmapLatency(*mmapPg, max(2, *iters/10)),
+		s.SignalLatency(*iters / 2),
+		s.FsLatency(*iters / 2),
+		s.ProtFaultLatency(*iters / 2),
+		s.BzeroBandwidth(64<<10, 8, lmbench.BzeroStores),
+		s.BcopyBandwidth(64<<10, 8),
+	}
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	fmt.Printf("%-12s %8.1f cycles/load (64K) / %.1f (2M)\n", "memrd",
+		s.MemReadLatency(64<<10, 4000), s.MemReadLatency(2<<20, 4000))
+	if *counters {
+		fmt.Printf("\n%s", k.M.Mon.String())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

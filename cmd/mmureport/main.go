@@ -1,0 +1,57 @@
+// Command mmureport regenerates the paper's tables and figures on the
+// simulator.
+//
+// Usage:
+//
+//	mmureport -list                 list all experiments
+//	mmureport -experiment table2    run one experiment
+//	mmureport -all                  run everything
+//	mmureport -all -full            run everything at full scale
+//
+// Each experiment prints a [measured] grid and, where the paper gives
+// directly comparable numbers, a [paper] grid next to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mmutricks/internal/report"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments and exit")
+		exp  = flag.String("experiment", "", "run a single experiment by id")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "run at full scale (slower, EXPERIMENTS.md sizes)")
+	)
+	flag.Parse()
+
+	scale := report.Quick
+	if *full {
+		scale = report.Full
+	}
+
+	switch {
+	case *list:
+		for _, e := range report.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+	case *exp != "":
+		e, ok := report.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmureport: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run(scale).Render())
+	case *all:
+		for _, e := range report.All() {
+			fmt.Println(e.Run(scale).Render())
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

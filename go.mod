@@ -1,0 +1,3 @@
+module mmutricks
+
+go 1.22

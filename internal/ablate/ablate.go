@@ -1,0 +1,153 @@
+// Package ablate measures how the paper's optimizations combine. §4
+// reports that "many optimizations did not interact as we expected ...
+// the end effect was not the sum off all the optimizations. Some
+// optimizations even cancelled the effect of previous ones", and §5.1
+// records the canonical example: the BAT mapping's wall-clock gains
+// "evaporated when TLB miss handling was optimized."
+//
+// For each optimization the harness measures:
+//
+//   - solo gain: turning it on alone, against the unoptimized kernel;
+//   - marginal gain: turning it off in the fully optimized kernel.
+//
+// An optimization whose solo gain is large but whose marginal gain is
+// near zero has been subsumed by the others — the §5.1 evaporation.
+// The sum of solo gains versus the combined gain quantifies the
+// non-additivity the authors warn about.
+package ablate
+
+import (
+	"fmt"
+	"strings"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+)
+
+// Knob is one toggleable optimization.
+type Knob struct {
+	// Name labels the knob in reports.
+	Name string
+	// Ref cites the paper section.
+	Ref string
+	// Enable turns the optimization on in a config; Disable turns it
+	// off. They must be exact inverses over the configs used here.
+	Enable  func(*kernel.Config)
+	Disable func(*kernel.Config)
+}
+
+// Knobs returns the paper's optimizations in presentation order.
+func Knobs() []Knob {
+	return []Knob{
+		{
+			Name: "kernel BAT mapping", Ref: "§5.1",
+			Enable:  func(c *kernel.Config) { c.KernelBAT = true },
+			Disable: func(c *kernel.Config) { c.KernelBAT = false },
+		},
+		{
+			Name: "fast reload handlers", Ref: "§6.1",
+			Enable:  func(c *kernel.Config) { c.FastReload = true },
+			Disable: func(c *kernel.Config) { c.FastReload = false },
+		},
+		{
+			Name: "no hash table (603)", Ref: "§6.2",
+			Enable:  func(c *kernel.Config) { c.UseHTAB = false },
+			Disable: func(c *kernel.Config) { c.UseHTAB = true },
+		},
+		{
+			Name: "lazy flush + cutoff", Ref: "§7",
+			Enable:  func(c *kernel.Config) { c.LazyFlush = true; c.FlushRangeCutoff = 20 },
+			Disable: func(c *kernel.Config) { c.LazyFlush = false; c.FlushRangeCutoff = 0 },
+		},
+		{
+			Name: "idle zombie reclaim", Ref: "§7",
+			Enable:  func(c *kernel.Config) { c.IdleReclaim = true },
+			Disable: func(c *kernel.Config) { c.IdleReclaim = false },
+		},
+		{
+			Name: "idle page clearing", Ref: "§9",
+			Enable:  func(c *kernel.Config) { c.IdleClear = kernel.IdleClearUncachedList },
+			Disable: func(c *kernel.Config) { c.IdleClear = kernel.IdleClearOff },
+		},
+	}
+}
+
+// Metric runs a workload under one configuration and returns its cost
+// in simulated cycles (lower is better). It must be deterministic.
+type Metric func(kernel.Config) clock.Cycles
+
+// Row is one knob's measured contribution.
+type Row struct {
+	Knob Knob
+	// SoloGain is the fractional improvement of enabling only this
+	// knob on the unoptimized kernel.
+	SoloGain float64
+	// MarginalGain is the fractional improvement the knob still
+	// provides inside the fully optimized kernel (optimized-without-it
+	// versus optimized).
+	MarginalGain float64
+}
+
+// Result is a full interaction analysis.
+type Result struct {
+	// BaselineCycles and OptimizedCycles anchor the gains.
+	BaselineCycles, OptimizedCycles clock.Cycles
+	// CombinedGain is the full stack's improvement over baseline.
+	CombinedGain float64
+	// SumOfSolos is what the combined gain "should" be if the
+	// optimizations were independent.
+	SumOfSolos float64
+	Rows       []Row
+}
+
+// Run performs the analysis: 2 + 2*len(knobs) measured runs.
+func Run(metric Metric, knobs []Knob) Result {
+	base := kernel.Unoptimized()
+	opt := kernel.Optimized()
+	baseC := metric(base)
+	optC := metric(opt)
+
+	res := Result{
+		BaselineCycles:  baseC,
+		OptimizedCycles: optC,
+		CombinedGain:    gain(baseC, optC),
+	}
+	for _, k := range knobs {
+		solo := base
+		k.Enable(&solo)
+		without := opt
+		k.Disable(&without)
+		r := Row{
+			Knob:         k,
+			SoloGain:     gain(baseC, metric(solo)),
+			MarginalGain: gain(metric(without), optC),
+		}
+		res.SumOfSolos += r.SoloGain
+		res.Rows = append(res.Rows, r)
+	}
+	return res
+}
+
+// gain returns the fractional improvement from a to b (positive = b is
+// faster).
+func gain(a, b clock.Cycles) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 1 - float64(b)/float64(a)
+}
+
+// String renders the analysis as an aligned table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline %d cycles, optimized %d cycles: combined gain %.1f%%\n",
+		r.BaselineCycles, r.OptimizedCycles, 100*r.CombinedGain)
+	fmt.Fprintf(&b, "sum of solo gains %.1f%% (non-additivity: %+.1f points)\n\n",
+		100*r.SumOfSolos, 100*(r.CombinedGain-r.SumOfSolos))
+	fmt.Fprintf(&b, "%-22s %-6s %12s %14s\n", "optimization", "ref", "solo gain", "marginal gain")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %-6s %11.1f%% %13.1f%%\n",
+			row.Knob.Name, row.Knob.Ref, 100*row.SoloGain, 100*row.MarginalGain)
+	}
+	return b.String()
+}

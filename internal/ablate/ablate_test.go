@@ -1,0 +1,103 @@
+package ablate
+
+import (
+	"strings"
+	"testing"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kbuild"
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/machine"
+)
+
+// compileMetric is a small reload-heavy compile on the 603.
+func compileMetric(cfg kernel.Config) clock.Cycles {
+	bcfg := kbuild.Default()
+	bcfg.Units = 3
+	bcfg.WorkPages = 320
+	bcfg.Passes = 1
+	bcfg.StrayRefs = 6
+	k := kernel.New(machine.New(clock.PPC603At180()), cfg)
+	r := kbuild.Run(k, bcfg)
+	return r.Cycles - r.IdleCycles
+}
+
+func TestKnobsAreInverses(t *testing.T) {
+	for _, k := range Knobs() {
+		// Enabling then disabling from the unoptimized config must
+		// restore it; same from optimized.
+		u := kernel.Unoptimized()
+		k.Enable(&u)
+		k.Disable(&u)
+		if u != kernel.Unoptimized() {
+			t.Errorf("%s: enable+disable does not restore unoptimized", k.Name)
+		}
+		o := kernel.Optimized()
+		k.Disable(&o)
+		k.Enable(&o)
+		if o != kernel.Optimized() {
+			t.Errorf("%s: disable+enable does not restore optimized", k.Name)
+		}
+	}
+}
+
+func TestOptimizedEnablesEveryKnob(t *testing.T) {
+	// Enabling any knob in the optimized config must be a no-op —
+	// otherwise Run's "marginal" measurements are comparing against
+	// the wrong stack.
+	for _, k := range Knobs() {
+		o := kernel.Optimized()
+		k.Enable(&o)
+		if o != kernel.Optimized() {
+			t.Errorf("%s: not already enabled in Optimized()", k.Name)
+		}
+	}
+}
+
+func TestRunAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("14 kbuild runs")
+	}
+	res := Run(compileMetric, Knobs())
+	if res.CombinedGain <= 0 {
+		t.Fatalf("optimized kernel not faster: gain %.3f", res.CombinedGain)
+	}
+	if len(res.Rows) != len(Knobs()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The §5.1 evaporation: the BAT mapping's marginal gain inside the
+	// full stack must be well below its solo gain... unless both are
+	// tiny, which also reproduces "the improvements evaporated".
+	bat := res.Rows[0]
+	if bat.Knob.Name != "kernel BAT mapping" {
+		t.Fatal("row order changed")
+	}
+	if bat.SoloGain > 0.02 && bat.MarginalGain > bat.SoloGain {
+		t.Errorf("BAT marginal gain (%.3f) should not exceed its solo gain (%.3f)",
+			bat.MarginalGain, bat.SoloGain)
+	}
+	// Non-additivity: combined differs from the sum of solos (the §4
+	// observation). Demand at least a one-point discrepancy.
+	if diff := res.CombinedGain - res.SumOfSolos; diff > -0.01 && diff < 0.01 {
+		t.Logf("note: optimizations composed almost additively (diff %.4f)", diff)
+	}
+	out := res.String()
+	for _, want := range []string{"solo gain", "marginal gain", "non-additivity", "§6.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestGainArithmetic(t *testing.T) {
+	almost := func(a, b float64) bool { d := a - b; return d > -1e-9 && d < 1e-9 }
+	if g := gain(100, 80); !almost(g, 0.2) {
+		t.Errorf("gain(100,80) = %v", g)
+	}
+	if g := gain(100, 120); !almost(g, -0.2) {
+		t.Errorf("gain(100,120) = %v", g)
+	}
+	if g := gain(0, 50); g != 0 {
+		t.Errorf("gain(0,50) = %v", g)
+	}
+}

@@ -1,0 +1,30 @@
+package arch
+
+import "testing"
+
+// FuzzDecomposition checks the address arithmetic invariants over
+// arbitrary inputs (run with `go test -fuzz=FuzzDecomposition`).
+func FuzzDecomposition(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(0xC0000000), uint32(0xFFFFFF))
+	f.Add(uint32(0x7FFFDFFC), uint32(0x123456))
+	f.Fuzz(func(t *testing.T, ea32, vs uint32) {
+		ea := EffectiveAddr(ea32)
+		v := VSID(vs) & VSIDMask
+		rebuilt := EffectiveAddr(uint32(ea.SegIndex())<<SegmentShift |
+			ea.PageIndex()<<PageShift | ea.Offset())
+		if rebuilt != ea {
+			t.Fatalf("decomposition not lossless: %v != %v", rebuilt, ea)
+		}
+		va := Virtual(v, ea)
+		if va.VSID() != v || va.PageIndex() != ea.PageIndex() || va.Offset() != ea.Offset() {
+			t.Fatalf("virtual round trip failed for %v/%#x", ea, v)
+		}
+		vpn := VPNOf(v, ea)
+		p := HashPrimary(vpn, DefaultHTABGroups)
+		sx := HashSecondary(vpn, DefaultHTABGroups)
+		if p < 0 || p >= DefaultHTABGroups || sx < 0 || sx >= DefaultHTABGroups || p == sx {
+			t.Fatalf("hash out of range or not complementary: %d %d", p, sx)
+		}
+	})
+}

@@ -1,0 +1,368 @@
+// Package cache implements the set-associative L1 caches of the PowerPC
+// 603/604 as a functional simulator with true-LRU replacement.
+//
+// Beyond hit/miss behaviour, the cache attributes every access, fill and
+// eviction to a traffic class (user data, kernel text, page tables, the
+// hash table, idle-task work, ...). Sections 8 and 9 of the paper are
+// about exactly this attribution: page-table walks and idle-task page
+// clearing filling the cache with lines that displace useful user data.
+// Cache-inhibited accesses (the architected WIMG "I" bit) bypass the
+// cache entirely, which is how the paper's uncached page-clearing and
+// uncached idle-task experiments work.
+package cache
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+)
+
+// Class identifies who generated a memory access, for attribution.
+type Class int
+
+const (
+	// ClassUser is ordinary user-mode instruction/data traffic.
+	ClassUser Class = iota
+	// ClassKernelText is kernel instruction fetch.
+	ClassKernelText
+	// ClassKernelData is kernel data (task structs, buffers, stacks).
+	ClassKernelData
+	// ClassPageTable is traffic to the Linux two-level page tables.
+	ClassPageTable
+	// ClassHashTable is traffic to the PowerPC hashed page table.
+	ClassHashTable
+	// ClassIdle is work done by the idle task (page clearing, zombie
+	// reclaim scans).
+	ClassIdle
+	// ClassIO is device/frame-buffer traffic.
+	ClassIO
+	numClasses
+)
+
+// Classes lists all traffic classes in order, for iteration in reports.
+var Classes = []Class{ClassUser, ClassKernelText, ClassKernelData, ClassPageTable, ClassHashTable, ClassIdle, ClassIO}
+
+func (c Class) String() string {
+	switch c {
+	case ClassUser:
+		return "user"
+	case ClassKernelText:
+		return "kernel-text"
+	case ClassKernelData:
+		return "kernel-data"
+	case ClassPageTable:
+		return "page-table"
+	case ClassHashTable:
+		return "hash-table"
+	case ClassIdle:
+		return "idle"
+	case ClassIO:
+		return "io"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	class Class
+	// lru is a per-set sequence number; larger = more recently used.
+	lru uint64
+}
+
+// Stats aggregates per-class counters for one cache.
+type Stats struct {
+	Accesses  [numClasses]uint64
+	Misses    [numClasses]uint64
+	Inhibited [numClasses]uint64
+	Fills     [numClasses]uint64
+	// Castouts[victim] counts dirty lines of class `victim` written
+	// back to memory on eviction (the 603/604 caches are copy-back).
+	Castouts [numClasses]uint64
+	// EvictedBy[victim][filler] counts lines of class `victim` evicted
+	// by a fill on behalf of class `filler` — the pollution matrix.
+	EvictedBy [numClasses][numClasses]uint64
+}
+
+// TotalAccesses sums accesses over all classes.
+func (s *Stats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.Accesses {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses sums misses over all classes.
+func (s *Stats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.Misses {
+		t += v
+	}
+	return t
+}
+
+// MissRate returns misses/accesses over all classes (0 if idle).
+func (s *Stats) MissRate() float64 {
+	a := s.TotalAccesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.TotalMisses()) / float64(a)
+}
+
+// PollutionBy returns how many lines belonging to *other* classes were
+// evicted by fills on behalf of class c.
+func (s *Stats) PollutionBy(c Class) uint64 {
+	var t uint64
+	for victim := Class(0); victim < numClasses; victim++ {
+		if victim != c {
+			t += s.EvictedBy[victim][c]
+		}
+	}
+	return t
+}
+
+// Cache is one set-associative L1 cache (instruction or data).
+type Cache struct {
+	name      string
+	sets      [][]line
+	ways      int
+	lineShift uint
+	setMask   uint32
+	seq       uint64
+	stats     Stats
+}
+
+// New builds a cache of the given total size, associativity and line
+// size. Size must be ways*lineSize*2^k for some k.
+func New(name string, size, ways, lineSize int) *Cache {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	nlines := size / lineSize
+	nsets := nlines / ways
+	if nsets*ways*lineSize != size || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d line=%d", name, size, ways, lineSize))
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	c := &Cache{
+		name:      name,
+		sets:      make([][]line, nsets),
+		ways:      ways,
+		lineShift: shift,
+		setMask:   uint32(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+// Name returns the label the cache was created with.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineShift }
+
+// Stats returns a pointer to the live counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// index splits a physical address into set index and tag.
+func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
+	lineAddr := uint32(pa) >> c.lineShift
+	return int(lineAddr & c.setMask), lineAddr >> 0
+}
+
+// Access performs one cached access on behalf of class. It returns
+// whether the access hit and whether a miss had to cast out a dirty
+// victim line (a memory writeback the caller must charge — the 603/604
+// caches are copy-back). Writes mark the line dirty; misses allocate
+// for both reads and writes, and any evicted line is attributed in the
+// pollution matrix.
+func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout bool) {
+	c.stats.Accesses[class]++
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	c.seq++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.seq
+			if write {
+				lines[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.stats.Misses[class]++
+	castout = c.fill(set, tag, class, write)
+	return false, castout
+}
+
+// AccessInhibited performs a cache-inhibited access: it never hits and
+// never fills, exactly like a WIMG I=1 access on the real part.
+func (c *Cache) AccessInhibited(class Class) {
+	c.stats.Inhibited[class]++
+}
+
+// AccessNoAlloc performs an access under a locked cache (§10.1): hits
+// behave normally, but misses do not allocate — nothing is evicted to
+// make room. It returns whether the access hit.
+func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bool) {
+	c.stats.Accesses[class]++
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	c.seq++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.seq
+			if write {
+				lines[i].dirty = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses[class]++
+	return false
+}
+
+// ZeroLine is the dcbz instruction: establish the line in the cache,
+// zeroed and dirty, WITHOUT reading memory. §9 notes the authors
+// avoided it for bzero() "for the same reason" as cached idle clearing:
+// it trades a memory read for maximal cache pollution. It returns
+// whether a dirty victim was cast out.
+func (c *Cache) ZeroLine(pa arch.PhysAddr, class Class) (castout bool) {
+	c.stats.Accesses[class]++
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	c.seq++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.seq
+			lines[i].dirty = true
+			return false
+		}
+	}
+	// Counts as an access but not a (latency-bearing) miss: the fill
+	// needs no memory read.
+	return c.fill(set, tag, class, true)
+}
+
+// Prefetch issues a dcbt-style touch: the line is brought in (filling
+// and possibly evicting, with normal attribution) but no access or miss
+// is counted — the latency is assumed overlapped with other work. It
+// reports whether a fill was needed.
+func (c *Cache) Prefetch(pa arch.PhysAddr, class Class) (filled bool) {
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	c.seq++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.seq
+			return false
+		}
+	}
+	c.fill(set, tag, class, false)
+	return true
+}
+
+// Touch fills a line without counting an access or a miss; used to
+// preload state (e.g. warming the cache before measurement).
+func (c *Cache) Touch(pa arch.PhysAddr, class Class) {
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	c.seq++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.seq
+			return
+		}
+	}
+	c.fill(set, tag, class, false)
+}
+
+// fill installs a line, evicting the LRU way if the set is full. It
+// reports whether the victim was dirty (requiring a writeback).
+func (c *Cache) fill(set int, tag uint32, class Class, write bool) (castout bool) {
+	c.stats.Fills[class]++
+	lines := c.sets[set]
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			goto install
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	c.stats.EvictedBy[lines[victim].class][class]++
+	if lines[victim].dirty {
+		c.stats.Castouts[lines[victim].class]++
+		castout = true
+	}
+install:
+	lines[victim] = line{valid: true, dirty: write, tag: tag, class: class, lru: c.seq}
+	return castout
+}
+
+// Contains reports whether the line holding pa is currently resident.
+func (c *Cache) Contains(pa arch.PhysAddr) bool {
+	set, tag := c.index(pa)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (used at machine reset).
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+}
+
+// ResetStats zeroes the counters without touching cache contents, so a
+// benchmark can warm up and then measure.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Residency counts resident lines per class — a snapshot of who owns
+// the cache, used by the §9 analysis.
+func (c *Cache) Residency() map[Class]int {
+	m := make(map[Class]int)
+	for i := range c.sets {
+		for _, l := range c.sets[i] {
+			if l.valid {
+				m[l.class]++
+			}
+		}
+	}
+	return m
+}
+
+// DirtyLines counts resident dirty lines — pending writebacks.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i := range c.sets {
+		for _, l := range c.sets[i] {
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package clock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelGeometry(t *testing.T) {
+	// §5.1: "The PowerPC 603 TLB has 128 entries and the 604 has 256".
+	// §6.2: the 604 has "two times larger L1 cache and TLB".
+	m603 := PPC603At180()
+	m604 := PPC604At185()
+	if m603.TLBEntries != 128 || m604.TLBEntries != 256 {
+		t.Errorf("TLB entries: 603=%d 604=%d", m603.TLBEntries, m604.TLBEntries)
+	}
+	if m604.L1Size != 2*m603.L1Size {
+		t.Errorf("L1 sizes: 603=%d 604=%d", m603.L1Size, m604.L1Size)
+	}
+	if m603.Kind != CPU603 || m604.Kind != CPU604 {
+		t.Error("wrong CPU kinds")
+	}
+}
+
+func TestModelCosts(t *testing.T) {
+	// §5: 32-cycle handler invoke/return on the 603; 120-cycle hardware
+	// walk and 91-cycle hash-miss interrupt on the 604.
+	if PPC603At180().MissHandlerEntry != 32 {
+		t.Error("603 miss handler entry cost should be 32 cycles")
+	}
+	m := PPC604At185()
+	if m.HWWalkCycles != 120 || m.HashMissInterrupt != 91 {
+		t.Errorf("604 costs: walk=%d interrupt=%d", m.HWWalkCycles, m.HashMissInterrupt)
+	}
+}
+
+func TestFasterBoardOn200(t *testing.T) {
+	// §6.2: the 604/200 machine has "significantly faster main memory".
+	if PPC604At200().MemLatency >= PPC604At185().MemLatency {
+		t.Error("604/200 must have lower memory latency than 604/185")
+	}
+}
+
+func TestLedgerChargeAndConvert(t *testing.T) {
+	l := NewLedger(100) // 100 MHz: 100 cycles = 1 us
+	l.Charge(250)
+	if l.Now() != 250 {
+		t.Fatalf("Now() = %d", l.Now())
+	}
+	if us := l.Micros(250); us != 2.5 {
+		t.Errorf("Micros(250) = %v, want 2.5", us)
+	}
+	if s := l.Seconds(100e6); s != 1.0 {
+		t.Errorf("Seconds(100e6) = %v, want 1", s)
+	}
+}
+
+func TestLedgerMBPerSec(t *testing.T) {
+	l := NewLedger(100)
+	// 1e6 bytes in 1e8 cycles = 1e6 bytes per second = 1 MB/s.
+	if got := l.MBPerSec(1e6, 1e8); got != 1.0 {
+		t.Errorf("MBPerSec = %v, want 1.0", got)
+	}
+	if got := l.MBPerSec(1e6, 0); got != 0 {
+		t.Errorf("MBPerSec with zero cycles = %v, want 0", got)
+	}
+}
+
+func TestLedgerRejectsBadMHz(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLedger(0) should panic")
+		}
+	}()
+	NewLedger(0)
+}
+
+func TestCPUKindString(t *testing.T) {
+	if CPU603.String() != "603" || CPU604.String() != "604" {
+		t.Error("CPUKind.String() wrong")
+	}
+	if !strings.Contains(CPUKind(9).String(), "9") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	for _, m := range []CPUModel{
+		PPC603At133(), PPC603At180(), PPC604At133(), PPC604At185(), PPC604At200(),
+	} {
+		if m.Name == "" || m.MHz == 0 || m.LineSize != 32 {
+			t.Errorf("bad model %+v", m)
+		}
+	}
+}

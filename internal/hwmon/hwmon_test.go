@@ -1,0 +1,98 @@
+package hwmon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	var c Counters
+	c.TLBMisses = 10
+	c.HTABHits = 7
+	snap := c.Snapshot()
+	c.TLBMisses = 25
+	c.HTABHits = 9
+	c.Syscalls = 3
+	d := c.Delta(snap)
+	if d.TLBMisses != 15 || d.HTABHits != 2 || d.Syscalls != 3 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// Snapshot is a copy: mutating c must not change snap.
+	if snap.TLBMisses != 10 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}
+
+func TestRates(t *testing.T) {
+	var c Counters
+	if c.TLBMissRate() != 0 || c.HTABHitRate() != 0 || c.EvictRatio() != 0 {
+		t.Fatal("idle counters should report zero rates")
+	}
+	c.TLBHits = 90
+	c.TLBMisses = 10
+	if got := c.TLBMissRate(); got != 0.1 {
+		t.Errorf("TLBMissRate = %v", got)
+	}
+	c.HTABHits = 85
+	c.HTABMisses = 15
+	if got := c.HTABHitRate(); got != 0.85 {
+		t.Errorf("HTABHitRate = %v", got)
+	}
+	c.HTABInserts = 100
+	c.HTABEvictsValid = 20
+	c.HTABEvictsZombie = 10
+	if got := c.EvictRatio(); got != 0.3 {
+		t.Errorf("EvictRatio = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	var c Counters
+	c.TLBMisses = 42
+	s := c.String()
+	if !strings.Contains(s, "tlb-misses") || !strings.Contains(s, "42") {
+		t.Errorf("String() missing fields:\n%s", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(9) // occupancy 0..8
+	h.Add(0)
+	h.Add(8)
+	h.Add(8)
+	h.Add(-1) // clamps to 0
+	h.Add(99) // clamps to 8
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 || h.Buckets[8] != 3 {
+		t.Fatalf("buckets = %v", h.Buckets)
+	}
+	if h.Max() != 3 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Error("histogram bars missing")
+	}
+}
+
+func TestDeltaCoversAllTrackedFields(t *testing.T) {
+	// Every counter touched here must be subtracted by Delta; this
+	// guards the hand-written Delta against missing fields for the
+	// counters the experiments rely on.
+	before := Counters{
+		TLBHits: 1, TLBMisses: 1, BATHits: 1, HTABHits: 1, HTABMisses: 1,
+		HTABPrimaryHits: 1, HTABInserts: 1, HTABEvictsValid: 1,
+		HTABEvictsZombie: 1, HTABFreeSlot: 1, HTABFlushSearches: 1,
+		SoftwareReloads: 1, HardwareWalks: 1, HashMissFaults: 1,
+		MinorFaults: 1, MajorFaults: 1, FlushPage: 1, FlushRange: 1,
+		FlushContext: 1, SwapOuts: 1, SwapIns: 1, OnDemandScans: 1, Signals: 1, Syscalls: 1, CtxSwitches: 1, Forks: 1, Execs: 1,
+		Exits: 1, IdlePolls: 1, ZombiesReclaimed: 1, IdlePagesCleared: 1,
+		ClearedPageHits: 1,
+	}
+	after := before
+	d := after.Delta(before)
+	if d != (Counters{}) {
+		t.Fatalf("Delta of identical snapshots not zero: %+v", d)
+	}
+}

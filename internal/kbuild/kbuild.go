@@ -1,0 +1,211 @@
+// Package kbuild is the paper's informal macro benchmark: timing a
+// kernel compile. "The mix of process creation, file I/O, and
+// computation in the kernel compile is a good guess at a typical user
+// load" (§4).
+//
+// The workload is a scaled-down synthetic compile: a make process forks
+// and execs a stream of compiler processes; each reads its source file,
+// allocates working memory (with the mmap/munmap traffic a malloc arena
+// produces), runs a compilation loop with locality-realistic memory
+// access, writes nothing back (the page cache is write-back), and
+// exits; between compilation units the machine waits on "disk" and the
+// idle task runs. Wall-clock time is simulated cycles; the paper's
+// 10-minute absolute times correspond to a full-size compile — relative
+// times between configurations are the reproduction target.
+package kbuild
+
+import (
+	"math/rand"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/kernel"
+)
+
+// Config sizes the synthetic compile.
+type Config struct {
+	// Units is the number of compilation units (cc1 invocations).
+	Units int
+	// CCTextPages is the compiler image's text size in pages.
+	CCTextPages int
+	// SourcePages is each unit's source file size.
+	SourcePages int
+	// WorkPages is the compiler's working set per unit.
+	WorkPages int
+	// Passes is how many compile passes sweep the working set.
+	Passes int
+	// StrayRefs is how many scattered single-access references each
+	// compile step makes across the whole arena — pointer chasing that
+	// pressures the TLB without warming the cache. Zero disables.
+	StrayRefs int
+	// HotPages is the size of the compiler's cache-resident hot state
+	// (symbol table, current AST) in pages.
+	HotPages int
+	// WaitEvery is how many compile steps run between mid-compile I/O
+	// stalls.
+	WaitEvery int
+	// IOWaitCycles is the simulated disk wait per I/O event. The idle
+	// task runs during every wait, and waits are frequent — after
+	// every source-file read and periodically during compilation — as
+	// on a real build machine ("the idle task runs quite often even on
+	// a system heavily loaded", §9).
+	IOWaitCycles int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Default is a compile sized to run in about a second of host time
+// while exercising every kernel path the paper's measurements cover.
+func Default() Config {
+	return Config{
+		Units:        24,
+		CCTextPages:  48,  // 192 KB compiler binary
+		SourcePages:  16,  // 64 KB source + headers per unit
+		WorkPages:    160, // 640 KB of compiler heap per unit
+		Passes:       3,
+		StrayRefs:    0,
+		HotPages:     4,
+		WaitEvery:    16,
+		IOWaitCycles: 30_000,
+		Seed:         1999,
+	}
+}
+
+// Result is one kbuild run's outcome.
+type Result struct {
+	// Cycles is the simulated wall-clock cost, including I/O waits.
+	Cycles clock.Cycles
+	// IdleCycles is the portion of Cycles spent waiting on "disk"
+	// (with the idle task running); the waits are the same across
+	// configurations, so ComputeCycles is the comparable quantity.
+	IdleCycles clock.Cycles
+	// Seconds is Cycles at the machine's clock rate.
+	Seconds float64
+	// ComputeSeconds excludes the fixed I/O waits.
+	ComputeSeconds float64
+	// Counters is the performance-monitor delta over the run.
+	Counters hwmon.Counters
+	// Idle is what the idle task got done during I/O waits.
+	Idle kernel.IdleStats
+}
+
+// Run executes the compile on a booted kernel.
+func Run(k *kernel.Kernel, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cc := k.LoadImage("cc1", cfg.CCTextPages)
+	makeImg := k.LoadImage("make", 8)
+
+	maker := k.Spawn(makeImg)
+	k.Switch(maker)
+	k.UserTouch(kernel.UserDataBase, 8*arch.PageSize) // make's own state
+
+	// Source files: every unit also reads the same shared headers,
+	// like a real tree.
+	shared := k.CreateFile(cfg.SourcePages)
+	sources := make([]*kernel.File, cfg.Units)
+	for i := range sources {
+		sources[i] = k.CreateFile(cfg.SourcePages)
+	}
+
+	before := k.M.Mon.Snapshot()
+	start := k.M.Led.Now()
+	var idle kernel.IdleStats
+	var idleCycles clock.Cycles
+
+	wait := func() {
+		w0 := k.M.Led.Now()
+		st := k.RunIdleFor(clock.Cycles(cfg.IOWaitCycles))
+		idle.Polls += st.Polls
+		idle.Reclaimed += st.Reclaimed
+		idle.Cleared += st.Cleared
+		idleCycles += k.M.Led.Now() - w0
+	}
+
+	for unit := 0; unit < cfg.Units; unit++ {
+		// make: stat files, decide, fork+exec cc1.
+		k.Switch(maker)
+		k.UserRun(0, 3000)
+		k.SysRead(sources[unit], 0, kernel.UserDataBase+0x40000, 4096)
+		wait() // stat+read of the source hits the disk
+
+		child := k.Fork()
+		k.Switch(child)
+		k.Exec(cc)
+		wait() // demand-loading cc1's text from disk
+
+		// cc1 reads its source and the shared headers; each read
+		// stalls on the disk.
+		for off := 0; off < sources[unit].Size(); off += 16 * 1024 {
+			k.SysRead(sources[unit], off, kernel.UserDataBase+0x80000, 16*1024)
+			wait()
+		}
+		for off := 0; off < shared.Size(); off += 16 * 1024 {
+			k.SysRead(shared, off, kernel.UserDataBase+0x80000, 16*1024)
+		}
+
+		// The compiler's malloc arena: mmap, grow, shrink — the range
+		// flushes §7 cares about (40–110 page ranges are typical).
+		arena := k.SysMmap(cfg.WorkPages)
+		small := k.SysMmap(8)
+
+		// Compile passes: instruction-heavy loops over text with a
+		// locality-realistic walk of the working set, stalling
+		// periodically for include files and object write-back. Each
+		// pass has a cache-resident hot set (inner loops and their
+		// data) plus a cold tail — the reuse that §9's cache-pollution
+		// analysis turns on.
+		// The compiler's hot state (symbol table, AST of the current
+		// function) lives in the first few arena pages and is
+		// re-walked constantly; fresh allocations fault in cold pages
+		// behind it, and pointer-chasing strays over the whole arena
+		// keep the TLB under pressure even when the cache is happy.
+		hotPages := cfg.HotPages
+		if hotPages < 2 {
+			hotPages = 2
+		}
+		for pass := 0; pass < cfg.Passes; pass++ {
+			hotText := rng.Intn(cfg.CCTextPages - 4)
+			for step := 0; step < cfg.WorkPages; step++ {
+				k.UserRun(hotText+step%4, 600)
+				k.UserTouch(arena+arch.EffectiveAddr((step%hotPages)*arch.PageSize), arch.PageSize)
+				k.UserTouch(arena+arch.EffectiveAddr(((step+2)%hotPages)*arch.PageSize), arch.PageSize)
+				// Stray references: one access each to scattered pages.
+				for sr := 0; sr < cfg.StrayRefs; sr++ {
+					k.UserTouchPages(arena+arch.EffectiveAddr(rng.Intn(cfg.WorkPages)*arch.PageSize), 1)
+				}
+				if rng.Intn(6) == 0 {
+					cold := hotPages + rng.Intn(cfg.WorkPages-hotPages)
+					k.UserTouch(arena+arch.EffectiveAddr(cold*arch.PageSize), 512)
+				}
+				if cfg.WaitEvery > 0 && step%cfg.WaitEvery == cfg.WaitEvery-1 {
+					k.UserTouch(kernel.UserStackTop-arch.EffectiveAddr(2*arch.PageSize), 128)
+					wait()
+				}
+			}
+		}
+
+		// malloc also grows and releases the heap with brk — the 40-110
+		// page ranges §7 mentions being "flushed in one shot".
+		k.SysBrk(1024 + 80)
+		k.UserTouch(kernel.UserDataBase+arch.EffectiveAddr(1024*arch.PageSize), 40*arch.PageSize)
+		k.SysBrk(1024)
+
+		k.SysMunmap(small, 8)
+		k.SysMunmap(arena, cfg.WorkPages)
+		k.Exit()
+		k.Switch(maker)
+		k.Wait(child)
+		wait() // object file write-back
+	}
+
+	d := k.M.Led.Now() - start
+	return Result{
+		Cycles:         d,
+		IdleCycles:     idleCycles,
+		Seconds:        k.M.Led.Seconds(d),
+		ComputeSeconds: k.M.Led.Seconds(d - idleCycles),
+		Counters:       k.M.Mon.Delta(before),
+		Idle:           idle,
+	}
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+)
+
+func TestBrkGrowAndUse(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	if k.HeapPages() != 1024 {
+		t.Fatalf("initial heap = %d pages", k.HeapPages())
+	}
+	k.SysBrk(1200)
+	if k.HeapPages() != 1200 {
+		t.Fatalf("heap after grow = %d", k.HeapPages())
+	}
+	// The new range is usable.
+	k.UserTouch(UserDataBase+arch.EffectiveAddr(1100*arch.PageSize), 4*arch.PageSize)
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrkShrinkFreesAndFlushes(t *testing.T) {
+	k, task := bootTask(t, clock.PPC604At185(), Unoptimized())
+	k.SysBrk(1100)
+	k.UserTouch(UserDataBase+arch.EffectiveAddr(1024*arch.PageSize), 60*arch.PageSize)
+	free0 := k.M.Mem.FreeFrames()
+	before := k.M.Mon.Snapshot()
+
+	k.SysBrk(1024) // drop the 76 pages above the original break
+
+	d := k.M.Mon.Delta(before)
+	if d.FlushRange+d.FlushContext == 0 {
+		t.Fatal("brk shrink must flush the dropped range")
+	}
+	// Eager mode flushes page by page: 76 pages searched.
+	if d.FlushPage != 76 {
+		t.Fatalf("flushed %d pages, want 76", d.FlushPage)
+	}
+	// 60 data frames come back, plus possibly an emptied PTE page.
+	if got := k.M.Mem.FreeFrames(); got < free0+60 || got > free0+62 {
+		t.Fatalf("frames freed: %d -> %d, want +60..62", free0, got)
+	}
+	if task.PT.CountRange(UserDataBase+arch.EffectiveAddr(1024*arch.PageSize), UserDataBase+arch.EffectiveAddr(1100*arch.PageSize)) != 0 {
+		t.Fatal("mappings survive the shrink")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrkShrinkUsesCutoff(t *testing.T) {
+	// With the tuned kernel a >20-page shrink becomes a context flush —
+	// the exact §7 mechanism for malloc's arena releases.
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	k.SysBrk(1100)
+	before := k.M.Mon.Snapshot()
+	k.SysBrk(1024)
+	d := k.M.Mon.Delta(before)
+	if d.FlushContext != 1 || d.FlushPage != 0 {
+		t.Fatalf("tuned shrink should context-flush: %+v", d)
+	}
+}
+
+func TestBrkInvalidPanics(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	defer func() {
+		if recover() == nil {
+			t.Error("brk to zero should panic")
+		}
+	}()
+	k.SysBrk(0)
+}
+
+func TestBrkTouchBeyondBreakSegfaults(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	k.SysBrk(1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("touching past the break should fault fatally")
+		}
+	}()
+	k.UserTouch(UserDataBase+arch.EffectiveAddr(1500*arch.PageSize), 64)
+}

@@ -1,0 +1,199 @@
+// Package kernel implements a miniature Linux/PPC-style operating
+// system running on the simulated PowerPC machine: tasks and a
+// round-robin scheduler, fork/exec/exit, demand paging over a two-level
+// page-table tree, pipes, a page cache, and — the heart of the paper —
+// every memory-management policy the paper measures, each behind a
+// Config switch:
+//
+//	§5.1  KernelBAT        map kernel space with BAT registers
+//	§5.2  Scatter          the VSID scatter constant
+//	§6.1  FastReload       hand-optimized assembly miss handlers
+//	§6.2  UseHTAB          (603) search the hash table before the tree
+//	§7    LazyFlush        VSID-reassignment context flushing
+//	§7    FlushRangeCutoff range-flush → context-flush threshold
+//	§7    IdleReclaim      idle task sweeps zombie hash-table PTEs
+//	§8    CachePageTables  let table walks allocate in the data cache
+//	§9    IdleClear        idle-task page clearing variants
+package kernel
+
+import "mmutricks/internal/vsid"
+
+// IdleClearMode selects the §9 page-clearing experiment variant.
+type IdleClearMode int
+
+const (
+	// IdleClearOff: the idle task does not clear pages; get_free_page
+	// clears on demand.
+	IdleClearOff IdleClearMode = iota
+	// IdleClearCached: clear through the cache and bank the page —
+	// the paper's first attempt, which nearly doubled kernel-compile
+	// time from cache pollution.
+	IdleClearCached
+	// IdleClearUncached: clear with the cache inhibited but do NOT
+	// bank the page — the paper's control experiment (no loss, no gain).
+	IdleClearUncached
+	// IdleClearUncachedList: clear with the cache inhibited and bank
+	// the page for get_free_page — the variant that won.
+	IdleClearUncachedList
+)
+
+func (m IdleClearMode) String() string {
+	switch m {
+	case IdleClearOff:
+		return "off"
+	case IdleClearCached:
+		return "cached"
+	case IdleClearUncached:
+		return "uncached-nolist"
+	case IdleClearUncachedList:
+		return "uncached+list"
+	}
+	return "idleclear(?)"
+}
+
+// Config selects which of the paper's optimizations are active.
+type Config struct {
+	// KernelBAT maps kernel text/data (and, because the kernel image,
+	// hash table and page tables are all in the one linear region, all
+	// of kernel lowmem) with a single BAT pair (§5.1).
+	KernelBAT bool
+
+	// Scatter is the VSID scatter constant (§5.2). Zero selects the
+	// tuned default.
+	Scatter uint32
+
+	// FastReload uses the hand-optimized assembly TLB-miss/hash-miss
+	// handlers that run with the MMU off, touch only the swapped-in
+	// scratch registers, and take three loads in the worst case (§6.1).
+	// Off means the original path: save full state, turn the MMU on,
+	// and run C handlers.
+	FastReload bool
+
+	// UseHTAB, on the 603, makes the software TLB-miss handler search
+	// the hash table first (emulating the 604's hardware search, as the
+	// 603 databook recommends). Off is the §6.2 optimization: skip the
+	// hash table entirely and walk the Linux page-table tree. Ignored
+	// on the 604, whose hardware requires the hash table.
+	UseHTAB bool
+
+	// LazyFlush enables VSID-reassignment context flushing (§7): a
+	// whole-context flush retires the VSIDs instead of searching the
+	// hash table, leaving zombie PTEs behind.
+	LazyFlush bool
+
+	// FlushRangeCutoff is the page count above which a range flush is
+	// converted into a whole-context flush (§7; the paper settled on
+	// 20). Zero disables the conversion (every range flush walks its
+	// pages).
+	FlushRangeCutoff int
+
+	// IdleReclaim makes the idle task scan the hash table and clear
+	// the valid bit of zombie PTEs (§7).
+	IdleReclaim bool
+
+	// OnDemandReclaim is the design the paper considered first and
+	// rejected (§7): keep the zombie set and scan the hash table
+	// synchronously "when hash table space became scarce" — here, when
+	// an insert finds both candidate buckets full. The paper's
+	// objection was latency inconsistency, which the sec7-ondemand
+	// experiment measures.
+	OnDemandReclaim bool
+
+	// IdleClear selects the §9 page-clearing variant.
+	IdleClear IdleClearMode
+
+	// CachePageTables controls whether hash-table and page-table-tree
+	// accesses go through the data cache (true, the stock behaviour §8
+	// criticizes) or are performed cache-inhibited (false, the
+	// proposed fix).
+	CachePageTables bool
+
+	// IdleCacheLock locks the data cache while the idle task runs
+	// (§10.1's proposed extension): idle accesses may hit but never
+	// allocate, so the idle task cannot evict anyone's working set.
+	IdleCacheLock bool
+
+	// CachePreload issues dcbt-style prefetches for the incoming
+	// task's state at the top of the context-switch path (§10.2's
+	// proposed extension), overlapping the fills with the switch work.
+	CachePreload bool
+
+	// MapIOWithBAT maps the kernel's I/O window (the frame buffer)
+	// with a BAT register. The paper tried this and found no
+	// significant gain — "applications we examined rarely accessed a
+	// large number of I/O addresses in a short time" (§5.1).
+	MapIOWithBAT bool
+
+	// FBBAT gives each process that calls IoremapFB its own data BAT
+	// entry for the frame buffer, switched at context switch — the
+	// paper's per-process ioremap() proposal (§5.1).
+	FBBAT bool
+
+	// BzeroDCBZ makes the synchronous page clear in get_free_page use
+	// the dcbz cache-line-zero instruction instead of plain stores.
+	// §9: "For the same reason we did not use the PowerPC instruction
+	// that clears entire cache lines at a time when we implemented
+	// bzero()" — dcbz is much faster per line but maximally polluting,
+	// the trade this switch lets you measure.
+	BzeroDCBZ bool
+
+	// COWFork makes fork share anonymous pages copy-on-write instead
+	// of copying eagerly; the first store to a shared page takes a
+	// protection fault that copies it. This is the real Linux
+	// behaviour; the eager copy charges the same traffic at fork time.
+	COWFork bool
+}
+
+// Unoptimized returns the baseline configuration: the original
+// Linux/PPC port before the paper's changes. The hash table is used as
+// a second-level TLB (the 603 databook recommendation), handlers are C,
+// every flush eagerly searches the hash table, the kernel is mapped
+// with PTEs, and the idle task does nothing interesting.
+func Unoptimized() Config {
+	return Config{
+		KernelBAT:        false,
+		Scatter:          vsid.DefaultScatter,
+		FastReload:       false,
+		UseHTAB:          true,
+		LazyFlush:        false,
+		FlushRangeCutoff: 0,
+		IdleReclaim:      false,
+		IdleClear:        IdleClearOff,
+		CachePageTables:  true,
+	}
+}
+
+// Named returns a configuration by name, for command-line tools:
+// "unoptimized", "optimized", or "optimized+htab" (the fully-tuned
+// kernel that still uses the hash table, i.e. the 604-style setup).
+func Named(name string) (Config, bool) {
+	switch name {
+	case "unoptimized":
+		return Unoptimized(), true
+	case "optimized":
+		return Optimized(), true
+	case "optimized+htab":
+		c := Optimized()
+		c.UseHTAB = true
+		return c, true
+	}
+	return Config{}, false
+}
+
+// Optimized returns the fully-optimized configuration the paper arrives
+// at: BAT-mapped kernel, fast assembly handlers, no hash table on the
+// 603, lazy flushes with the 20-page range cutoff, idle-task zombie
+// reclaim and uncached idle-task page clearing.
+func Optimized() Config {
+	return Config{
+		KernelBAT:        true,
+		Scatter:          vsid.DefaultScatter,
+		FastReload:       true,
+		UseHTAB:          false,
+		LazyFlush:        true,
+		FlushRangeCutoff: 20,
+		IdleReclaim:      true,
+		IdleClear:        IdleClearUncachedList,
+		CachePageTables:  true,
+	}
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/pagetable"
+)
+
+// CheckConsistency verifies the translation-coherence invariants that
+// the paper's optimizations must preserve. Lazy flushing deliberately
+// leaves stale-looking state around (zombie PTEs, unmatchable TLB
+// entries), so the invariants are subtle and worth machine-checking:
+//
+//  1. Every valid TLB entry whose VSID belongs to a live context must
+//     agree with the canonical translation (the task's page tree for
+//     user pages, the linear map for kernel pages).
+//  2. Every valid, live hash-table PTE must agree the same way.
+//  3. No two live contexts share a VSID.
+//  4. Frame accounting: every frame referenced by a live page tree is
+//     allocated, and no frame is mapped privately by two tasks.
+//
+// It returns an error describing the first violation found, or nil.
+func (k *Kernel) CheckConsistency() error {
+	// Build the live-VSID index: VSID -> owning task, plus the kernel's
+	// fixed VSIDs.
+	type owner struct {
+		t   *Task
+		seg int
+	}
+	live := make(map[arch.VSID]owner)
+	for _, t := range k.tasks {
+		if t.State == TaskZombie {
+			continue
+		}
+		for seg := 0; seg < 12; seg++ {
+			v := t.Segs[seg]
+			if prev, dup := live[v]; dup && prev.t != t {
+				return fmt.Errorf("VSID %#x shared by live tasks %d and %d", v, prev.t.PID, t.PID)
+			}
+			live[v] = owner{t, seg}
+		}
+	}
+	kernelVSIDs := make(map[arch.VSID]int)
+	for seg := 12; seg < 16; seg++ {
+		kernelVSIDs[k.M.MMU.Segment(seg)] = seg
+	}
+
+	// canonical returns the authoritative frame for a VPN under its
+	// owner, and whether one exists.
+	canonical := func(vpn arch.VPN) (arch.PFN, bool, error) {
+		v := vpn.VSID()
+		if seg, ok := kernelVSIDs[v]; ok {
+			ea := arch.EffectiveAddr(uint32(seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
+			if rpn, ok := k.ioLinear(ea); ok {
+				return rpn, true, nil
+			}
+			rpn, ok := k.kernelLinear(ea)
+			if !ok {
+				return 0, false, fmt.Errorf("kernel VPN %#x outside the linear and I/O maps", vpn)
+			}
+			return rpn, true, nil
+		}
+		o, ok := live[v]
+		if !ok {
+			return 0, false, nil // zombie or stale: exempt from checks
+		}
+		ea := arch.EffectiveAddr(uint32(o.seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
+		e, present := o.t.PT.Lookup(ea)
+		if !present {
+			return 0, false, fmt.Errorf("live VSID %#x (task %d) has cached translation for unmapped %v", v, o.t.PID, ea)
+		}
+		return e.RPN, true, nil
+	}
+
+	// 1. TLB agreement (both arrays when split).
+	tlbs := []*struct {
+		name string
+		snap map[arch.VPN]arch.PFN
+	}{{"DTLB", k.M.MMU.TLB.Snapshot()}, {"ITLB", nil}}
+	if k.M.MMU.ITLB != k.M.MMU.TLB {
+		tlbs[1].snap = k.M.MMU.ITLB.Snapshot()
+	}
+	for _, tl := range tlbs {
+		for vpn, rpn := range tl.snap {
+			want, ok, err := canonical(vpn)
+			if err != nil {
+				return fmt.Errorf("%s: %w", tl.name, err)
+			}
+			if ok && want != rpn {
+				return fmt.Errorf("%s entry %#x -> frame %#x disagrees with canonical frame %#x", tl.name, vpn, rpn, want)
+			}
+		}
+	}
+
+	// 2. Hash-table agreement.
+	var htabErr error
+	k.M.MMU.HTAB.ForEachValid(func(vpn arch.VPN, rpn arch.PFN) bool {
+		want, ok, err := canonical(vpn)
+		if err != nil {
+			htabErr = fmt.Errorf("HTAB: %w", err)
+			return false
+		}
+		if ok && want != rpn {
+			htabErr = fmt.Errorf("HTAB entry %#x -> frame %#x disagrees with canonical frame %#x", vpn, rpn, want)
+			return false
+		}
+		return true
+	})
+	if htabErr != nil {
+		return htabErr
+	}
+
+	// 4. Frame accounting.
+	privateOwner := make(map[arch.PFN]uint32)
+	for _, t := range k.tasks {
+		if t.State == TaskZombie || t.PT == nil {
+			continue
+		}
+		var walkErr error
+		t.PT.Range(0, arch.KernelBase, func(ea arch.EffectiveAddr, e pagetable.Entry) bool {
+			if int(e.RPN) >= k.M.Mem.Frames() {
+				// Device space (the frame buffer) — not RAM.
+				return true
+			}
+			if !k.M.Mem.InUse(e.RPN) {
+				walkErr = fmt.Errorf("task %d maps free frame %#x at %v", t.PID, uint32(e.RPN), ea)
+				return false
+			}
+			if t.owns(e.RPN) {
+				if prev, dup := privateOwner[e.RPN]; dup {
+					walkErr = fmt.Errorf("frame %#x privately owned by tasks %d and %d", uint32(e.RPN), prev, t.PID)
+					return false
+				}
+				privateOwner[e.RPN] = t.PID
+			}
+			return true
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+)
+
+// TestConsistencyAfterBasicOps checks the coherence invariants after
+// ordinary activity, on both CPU kinds and both flush modes.
+func TestConsistencyAfterBasicOps(t *testing.T) {
+	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+		for _, cfg := range []Config{Unoptimized(), Optimized()} {
+			k, _ := bootTask(t, model, cfg)
+			k.UserTouchPages(UserDataBase, 32)
+			k.UserRun(0, 500)
+			addr := k.SysMmap(64)
+			k.UserTouch(addr, 64*arch.PageSize)
+			k.SysMunmap(addr, 64)
+			child := k.Fork()
+			k.Switch(child)
+			k.UserTouchPages(UserDataBase, 8)
+			if err := k.CheckConsistency(); err != nil {
+				t.Errorf("%s lazy=%v: %v", model.Name, cfg.LazyFlush, err)
+			}
+		}
+	}
+}
+
+// TestConsistencyAfterLazyFlushChurn is the interesting case: zombies
+// everywhere, yet every *live* cached translation must still be right.
+func TestConsistencyAfterLazyFlushChurn(t *testing.T) {
+	k, task := bootTask(t, clock.PPC604At185(), Optimized())
+	img, _ := k.images["test"]
+	for i := 0; i < 12; i++ {
+		k.UserTouchPages(UserDataBase, 40)
+		k.Exec(img)
+	}
+	k.UserTouchPages(UserDataBase, 40)
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// The hash table should indeed be full of zombies right now —
+	// the checker must tolerate them.
+	occ := k.M.MMU.HTAB.Occupancy()
+	livePTEs := k.M.MMU.HTAB.LiveOccupancy(k.zombie)
+	if occ <= livePTEs {
+		t.Fatalf("expected zombie PTEs in the table: occ=%d live=%d", occ, livePTEs)
+	}
+	_ = task
+}
+
+// TestConsistencyRandomWorkload drives a random (seeded) op mix and
+// checks invariants throughout — a lightweight model-checking pass over
+// the kernel's MMU state machine.
+func TestConsistencyRandomWorkload(t *testing.T) {
+	for _, cfgName := range []string{"unoptimized", "optimized", "optimized+htab"} {
+		cfg, _ := Named(cfgName)
+		for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+			k, _ := bootTask(t, model, cfg)
+			rng := rand.New(rand.NewSource(42))
+			var mappings []struct {
+				addr  arch.EffectiveAddr
+				pages int
+			}
+			tasks := []*Task{k.Current()}
+			for step := 0; step < 300; step++ {
+				switch rng.Intn(14) {
+				case 0, 1, 2:
+					k.UserTouchPages(UserDataBase+arch.EffectiveAddr(rng.Intn(256)*arch.PageSize), 4)
+				case 3:
+					k.UserRun(rng.Intn(4), 200)
+				case 4:
+					pages := 1 + rng.Intn(48)
+					addr := k.SysMmap(pages)
+					k.UserTouch(addr, pages*arch.PageSize/2)
+					mappings = append(mappings, struct {
+						addr  arch.EffectiveAddr
+						pages int
+					}{addr, pages})
+				case 5:
+					if len(mappings) > 0 {
+						m := mappings[len(mappings)-1]
+						mappings = mappings[:len(mappings)-1]
+						k.SysMunmap(m.addr, m.pages)
+					}
+				case 6:
+					if len(tasks) < 5 {
+						child := k.Fork()
+						tasks = append(tasks, child)
+					}
+				case 7:
+					k.Switch(tasks[rng.Intn(len(tasks))])
+					mappings = nil // mappings belong to another task now
+				case 8:
+					k.SysNull()
+				case 9:
+					k.RunIdleFor(5_000)
+				case 10:
+					// Heap churn: grow then shrink (the §7 range flush).
+					k.SysBrk(1024 + rng.Intn(128))
+				case 11:
+					name := "f" + string(rune('a'+rng.Intn(8)))
+					k.SysCreat(name, rng.Intn(3))
+					if rng.Intn(2) == 0 {
+						k.SysUnlink(name)
+					}
+				case 12:
+					k.SysSignal(0, 100)
+					k.SysKill(k.Current())
+				case 13:
+					cur := k.Current()
+					if !cur.fbMapped {
+						k.IoremapFB()
+					}
+					k.FBWrite(rng.Intn(1<<20), 2048)
+				}
+				if step%50 == 49 {
+					if err := k.CheckConsistency(); err != nil {
+						t.Fatalf("%s/%s step %d: %v", model.Name, cfgName, step, err)
+					}
+				}
+			}
+			if err := k.CheckConsistency(); err != nil {
+				t.Fatalf("%s/%s final: %v", model.Name, cfgName, err)
+			}
+		}
+	}
+}
+
+// TestConsistencyDetectsCorruption proves the checker is not vacuous:
+// a deliberately corrupted TLB entry must be caught.
+func TestConsistencyDetectsCorruption(t *testing.T) {
+	k, task := bootTask(t, clock.PPC604At185(), Unoptimized())
+	k.UserTouchPages(UserDataBase, 4)
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+	// Forge a TLB entry pointing a live VSID's page at the wrong frame.
+	vpn := arch.VPNOf(task.Segs[int(UserDataBase>>28)], UserDataBase)
+	k.M.MMU.TLB.Insert(vpn, 0x1234, false, false)
+	if err := k.CheckConsistency(); err == nil {
+		t.Fatal("corrupted TLB entry not detected")
+	}
+}
+
+// TestConsistencyDetectsVSIDAliasing proves check 3 works.
+func TestConsistencyDetectsVSIDAliasing(t *testing.T) {
+	k, task := bootTask(t, clock.PPC604At185(), Optimized())
+	other := k.Fork()
+	// Force the two tasks to share a VSID.
+	other.Segs[0] = task.Segs[0]
+	if err := k.CheckConsistency(); err == nil {
+		t.Fatal("shared VSID between live tasks not detected")
+	}
+}

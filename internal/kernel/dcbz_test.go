@@ -1,0 +1,46 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+)
+
+func TestDCBZClearIsFasterButPollutes(t *testing.T) {
+	clearCost := func(dcbz bool) (cycles clock.Cycles, kernelLines int) {
+		cfg := Unoptimized()
+		cfg.KernelBAT = true
+		cfg.FastReload = true
+		cfg.BzeroDCBZ = dcbz
+		k, _ := bootTask(t, clock.PPC604At185(), cfg)
+		start := k.M.Led.Now()
+		k.UserTouch(UserDataBase, 64) // one demand-zero fault
+		return k.M.Led.Now() - start, k.M.DCache.Residency()[cache.ClassKernelData]
+	}
+	storeCycles, storeLines := clearCost(false)
+	dcbzCycles, dcbzLines := clearCost(true)
+	if dcbzCycles >= storeCycles {
+		t.Fatalf("dcbz clear (%d cycles) should beat store clear (%d)", dcbzCycles, storeCycles)
+	}
+	// Both dirty the whole page's worth of lines — that's the §9
+	// pollution the authors feared; dcbz is not cleaner, just faster.
+	if dcbzLines < 128 || storeLines < 128 {
+		t.Fatalf("page clear should leave 128 resident lines: dcbz=%d stores=%d", dcbzLines, storeLines)
+	}
+}
+
+func TestDCBZLinesAreDirty(t *testing.T) {
+	cfg := Optimized()
+	cfg.IdleClear = IdleClearOff
+	cfg.BzeroDCBZ = true
+	k, _ := bootTask(t, clock.PPC604At185(), cfg)
+	dirty0 := k.M.DCache.DirtyLines()
+	k.UserTouch(UserDataBase, 64) // demand-zero via dcbz
+	if k.M.DCache.DirtyLines()-dirty0 < 128 {
+		t.Fatalf("dcbz must leave the page's lines dirty: %d new",
+			k.M.DCache.DirtyLines()-dirty0)
+	}
+	_ = arch.PageSize
+}

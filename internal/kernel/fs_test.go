@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"mmutricks/internal/clock"
+)
+
+func TestCreatUnlinkRoundTrip(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	k.UserTouch(UserDataBase, 4096) // pre-fault the read buffer
+	free0 := k.M.Mem.FreeFrames()
+	f := k.SysCreat("hello.o", 4)
+	if f.Size() != 4*4096 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if got, ok := k.SysStat("hello.o"); !ok || got != f {
+		t.Fatal("stat did not find the file")
+	}
+	if n := k.SysRead(f, 0, UserDataBase, 4096); n != 4096 {
+		t.Fatalf("read %d", n)
+	}
+	k.SysUnlink("hello.o")
+	if _, ok := k.SysStat("hello.o"); ok {
+		t.Fatal("file survives unlink")
+	}
+	if got := k.M.Mem.FreeFrames(); got != free0 {
+		t.Fatalf("frame leak: %d vs %d", got, free0)
+	}
+}
+
+func TestCreatTruncatesExisting(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	a := k.SysCreat("x", 8)
+	b := k.SysCreat("x", 2)
+	if a != b {
+		t.Fatal("recreating should reuse the inode")
+	}
+	if b.Size() != 2*4096 {
+		t.Fatalf("size after truncate = %d", b.Size())
+	}
+	k.SysUnlink("x")
+}
+
+func TestUnlinkMissingPanics(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	defer func() {
+		if recover() == nil {
+			t.Error("unlink of missing file should panic")
+		}
+	}()
+	k.SysUnlink("nope")
+}
+
+func TestNameiCostScalesWithDirectory(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	stat := func() clock.Cycles {
+		start := k.M.Led.Now()
+		k.SysStat("target")
+		return k.M.Led.Now() - start
+	}
+	k.SysCreat("target", 0)
+	small := stat()
+	for i := 0; i < 256; i++ {
+		k.SysCreat(fmt.Sprintf("pad%04d", i), 0)
+	}
+	big := stat()
+	if big <= small {
+		t.Fatalf("namei in a 257-entry dir (%d cycles) should exceed a 1-entry dir (%d)", big, small)
+	}
+}

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+)
+
+// Tests for the paper's §10 future-work extensions and the §7 rejected
+// on-demand reclaim design.
+
+func TestIdleCacheLockPreventsEviction(t *testing.T) {
+	run := func(lock bool) (survived int) {
+		cfg := Optimized()
+		cfg.UseHTAB = true
+		cfg.IdleCacheLock = lock
+		// Cached idle clearing: the worst polluter. With the lock, its
+		// stores must not evict anything.
+		cfg.IdleClear = IdleClearCached
+		k, _ := bootTask(t, clock.PPC604At185(), cfg)
+		k.UserTouch(UserDataBase, 24*1024) // hot user set
+		before := k.M.DCache.Residency()[cache.ClassUser] + k.M.DCache.Residency()[cache.ClassKernelData]
+		k.RunIdleFor(500_000)
+		after := k.M.DCache.Residency()[cache.ClassUser] + k.M.DCache.Residency()[cache.ClassKernelData]
+		_ = before
+		return after
+	}
+	unlocked := run(false)
+	locked := run(true)
+	if locked <= unlocked {
+		t.Fatalf("cache lock should preserve resident lines: locked=%d unlocked=%d", locked, unlocked)
+	}
+}
+
+func TestIdleCacheLockReleasedAfterIdle(t *testing.T) {
+	cfg := Optimized()
+	cfg.IdleCacheLock = true
+	k, _ := bootTask(t, clock.PPC604At185(), cfg)
+	k.RunIdleFor(10_000)
+	if k.M.CacheLocked() {
+		t.Fatal("cache lock left engaged after idle")
+	}
+	// Normal allocation works again.
+	k.UserTouch(UserDataBase, 64)
+	if k.M.DCache.Stats().TotalMisses() == 0 {
+		t.Fatal("no cache activity after idle")
+	}
+}
+
+func TestCachePreloadWarmsSwitchPath(t *testing.T) {
+	// With preloading, the switch path's task-struct accesses hit.
+	run := func(preload bool) clock.Cycles {
+		cfg := Optimized()
+		cfg.CachePreload = preload
+		k, a := bootTask(t, clock.PPC604At185(), cfg)
+		b := k.Fork()
+		// Storm the cache so the task structs are definitely cold
+		// before each switch.
+		storm := func() { k.UserTouch(UserDataBase+0x40000, 32*1024) }
+		storm()
+		k.Switch(b)
+		storm()
+		k.Switch(a)
+		start := k.M.Led.Now()
+		for i := 0; i < 20; i++ {
+			storm()
+			k.Switch(b)
+			storm()
+			k.Switch(a)
+		}
+		return k.M.Led.Now() - start
+	}
+	plain := run(false)
+	preloaded := run(true)
+	if preloaded >= plain {
+		t.Fatalf("preloading should cheapen cold switches: %d vs %d cycles", preloaded, plain)
+	}
+}
+
+func TestOnDemandReclaimTriggersOnFullBuckets(t *testing.T) {
+	cfg := Optimized()
+	cfg.UseHTAB = true
+	cfg.IdleReclaim = false
+	cfg.OnDemandReclaim = true
+	k, task := bootTask(t, clock.PPC604At185(), cfg)
+	// Fill the table with zombies via context churn (no idle runs, so
+	// nothing reclaims them in the background).
+	img := k.images["test"]
+	for i := 0; i < 80; i++ {
+		k.UserTouchPages(UserDataBase, 200)
+		k.Exec(img)
+	}
+	if k.M.Mon.OnDemandScans == 0 {
+		t.Fatal("on-demand reclaim never triggered despite zombie pressure")
+	}
+	if k.M.Mon.ZombiesReclaimed == 0 {
+		t.Fatal("on-demand scans reclaimed nothing")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	_ = task
+}
+
+func TestOnDemandReclaimLatencySpikes(t *testing.T) {
+	// The paper's reason for rejecting the design: "Performance would
+	// also be inconsistent if we had to occasionally scan the hash
+	// table". Per-operation worst case must be far above the median
+	// when scans run synchronously.
+	cfg := Optimized()
+	cfg.UseHTAB = true
+	cfg.IdleReclaim = false
+	cfg.OnDemandReclaim = true
+	k, worker := bootTask(t, clock.PPC604At185(), cfg)
+
+	// Stuff the table completely with zombie PTEs (white-box: retired
+	// contexts inserted directly, so nothing sweeps during setup).
+	htab := k.M.MMU.HTAB
+	for htab.Occupancy() < htab.Capacity() {
+		ctx, _ := k.ctx.Alloc()
+		vs := k.ctx.VSIDs(ctx)
+		k.ctx.Retire(ctx)
+		for page := 0; page < 64; page++ {
+			ea := UserDataBase + arch.EffectiveAddr(page*arch.PageSize)
+			htab.Insert(arch.VPNOf(vs[ea.SegIndex()], ea), arch.PFN(page), false, nil, nil)
+		}
+	}
+	if htab.Occupancy() != htab.Capacity() {
+		t.Fatalf("could not fill the table: %d", htab.Occupancy())
+	}
+
+	// The worker's next insert finds its buckets full and eats the
+	// whole-table sweep; the identical op right after runs against a
+	// freshly swept table.
+	k.Switch(worker)
+	scansBefore := k.M.Mon.OnDemandScans
+	op := func(i int) clock.Cycles {
+		start := k.M.Led.Now()
+		k.UserTouchPages(UserDataBase+arch.EffectiveAddr((0x200+i)*arch.PageSize), 1)
+		return k.M.Led.Now() - start
+	}
+	spike := op(0)
+	if k.M.Mon.OnDemandScans == scansBefore {
+		t.Fatal("full table did not trigger an on-demand sweep")
+	}
+	calm := op(1)
+	if spike < 5*calm {
+		t.Fatalf("the triggering op should pay the sweep: spike %d vs calm %d cycles", spike, calm)
+	}
+}

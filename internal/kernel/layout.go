@@ -1,0 +1,60 @@
+package kernel
+
+import "mmutricks/internal/arch"
+
+// Kernel virtual-address layout. The kernel occupies the architected
+// 0xC0000000.. region and maps physical memory linearly there, exactly
+// as Linux does on 32-bit machines; kernel virtual address 0xC0000000+pa
+// is physical address pa.
+const (
+	// KernelVirtBase is where physical 0 appears in kernel space.
+	KernelVirtBase = arch.KernelBase
+)
+
+// Offsets of kernel routines within kernel text. Each code path lives
+// at its own offset so distinct paths occupy distinct cache lines and
+// TLB pages — the kernel's instruction footprint is simulated, not
+// assumed. The fast assembly handlers sit in the low exception-vector
+// pages; the C handlers and the rest of the kernel live higher, so the
+// choice of handler changes which (and how many) lines and pages the
+// hot paths touch.
+const (
+	textFastMiss  = 0x00000100 // hand-optimized miss handler (§6.1)
+	textSyscall   = 0x00002000 // syscall entry/exit
+	textCMissSave = 0x00004000 // original C-handler state save/restore
+	textCMissBody = 0x00006000 // original C-handler body
+	textPageFault = 0x00008000 // do_page_fault
+	textSched     = 0x0000A000 // scheduler + switch_to
+	textPipe      = 0x0000C000 // pipe read/write
+	textMmap      = 0x0000E000 // mmap/munmap
+	textProc      = 0x00010000 // fork/exec/exit/wait
+	textIdle      = 0x00012000 // idle loop
+	textFlush     = 0x00014000 // TLB/hash flush routines
+	textGetFree   = 0x00016000 // get_free_page and friends
+	textFileIO    = 0x00018000 // read() and the page cache
+	textCopyInOut = 0x0001A000 // copy_to/from_user
+)
+
+// Offsets of kernel data structures within kernel data (which starts
+// after kernel text in the image; see dataBase in Kernel).
+const (
+	dataTaskStructs = 0x00000 // task structs, one per PID slot
+	taskStructBytes = 0x400
+	dataRunQueue    = 0x40000
+	dataPipeTable   = 0x40400
+	dataPageCache   = 0x40800
+	dataVMAs        = 0x41000
+	dataMMContext   = 0x42000
+)
+
+// User virtual-address layout for simulated processes.
+const (
+	// UserTextBase is where program text is mapped.
+	UserTextBase arch.EffectiveAddr = 0x00400000
+	// UserDataBase is the heap/static-data region.
+	UserDataBase arch.EffectiveAddr = 0x10000000
+	// UserMmapBase is where anonymous mmaps are placed.
+	UserMmapBase arch.EffectiveAddr = 0x40000000
+	// UserStackTop is the top of the stack region (grows down).
+	UserStackTop arch.EffectiveAddr = 0x7FFF0000
+)

@@ -1,0 +1,46 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+)
+
+func TestMprotectFaultsOnWrite(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	k.SysSignal(0, 100)
+	addr := k.SysMmap(2)
+	k.UserTouch(addr, 2*arch.PageSize)
+	k.SysMprotect(addr, 2, true)
+
+	before := k.M.Mon.Snapshot()
+	k.UserRef(addr, false) // read: allowed, no fault
+	if k.M.Mon.Delta(before).Signals != 0 {
+		t.Fatal("read faulted on RO page")
+	}
+	k.UserRef(addr, true) // write: SIGSEGV to handler
+	if k.M.Mon.Delta(before).Signals != 1 {
+		t.Fatal("write did not fault")
+	}
+	// Unprotect: writes sail through.
+	k.SysMprotect(addr, 2, false)
+	before = k.M.Mon.Snapshot()
+	k.UserRef(addr, true)
+	if k.M.Mon.Delta(before).Signals != 0 {
+		t.Fatal("write faulted after unprotect")
+	}
+}
+
+func TestMprotectWithoutHandlerPanics(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	addr := k.SysMmap(1)
+	k.UserTouch(addr, 64)
+	k.SysMprotect(addr, 1, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("unhandled protection fault should panic")
+		}
+	}()
+	k.UserRef(addr, true)
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/clock"
+)
+
+func TestSignalSelfDelivery(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	k.SysSignal(1, 500)
+	before := k.M.Mon.Snapshot()
+	for i := 0; i < 10; i++ {
+		k.SysKill(k.Current())
+	}
+	d := k.M.Mon.Delta(before)
+	if d.Signals != 10 {
+		t.Fatalf("delivered %d signals", d.Signals)
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalCrossTaskPends(t *testing.T) {
+	k, a := bootTask(t, clock.PPC604At185(), Optimized())
+	b := k.Fork()
+	k.Switch(b)
+	k.SysSignal(0, 300)
+	k.Switch(a)
+	k.SysKill(b) // b isn't running: pends
+	if k.SignalsDelivered() != 0 {
+		t.Fatal("cross-task signal delivered eagerly")
+	}
+	k.SysKill(b)
+	k.Switch(b) // delivery happens here
+	if k.SignalsDelivered() != 2 {
+		t.Fatalf("delivered %d on switch, want 2", k.SignalsDelivered())
+	}
+	if b.sigPending != 0 {
+		t.Fatal("pending count not drained")
+	}
+}
+
+func TestSignalNoHandlerPanics(t *testing.T) {
+	k, _ := bootTask(t, clock.PPC604At185(), Optimized())
+	defer func() {
+		if recover() == nil {
+			t.Error("signal without handler should panic")
+		}
+	}()
+	k.SysKill(k.Current())
+}
+
+func TestSignalLatencyFastVsSlowKernel(t *testing.T) {
+	// lat_sig: the fast exception paths cut delivery cost, like every
+	// other trap in §6.1.
+	lat := func(cfg Config) clock.Cycles {
+		k, _ := bootTask(t, clock.PPC604At185(), cfg)
+		k.SysSignal(0, 100)
+		k.SysKill(k.Current()) // warm
+		start := k.M.Led.Now()
+		for i := 0; i < 20; i++ {
+			k.SysKill(k.Current())
+		}
+		return (k.M.Led.Now() - start) / 20
+	}
+	fast := lat(Optimized())
+	slow := lat(Unoptimized())
+	if fast >= slow {
+		t.Fatalf("fast kernel signal (%d cycles) should beat slow (%d)", fast, slow)
+	}
+}

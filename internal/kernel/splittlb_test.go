@@ -1,0 +1,103 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/machine"
+)
+
+func split603() clock.CPUModel {
+	m := clock.PPC603At180()
+	m.SplitTLB = true
+	return m
+}
+
+func TestSplitTLBSeparatesSides(t *testing.T) {
+	k := New(machine.New(split603()), Optimized())
+	img := k.LoadImage("test", 8)
+	k.Spawn(img)
+	mmu := k.M.MMU
+	if mmu.ITLB == mmu.TLB {
+		t.Fatal("split model shares one TLB")
+	}
+	if mmu.ITLB.Entries() != 64 || mmu.TLB.Entries() != 64 {
+		t.Fatalf("split halves: I=%d D=%d, want 64/64", mmu.ITLB.Entries(), mmu.TLB.Entries())
+	}
+	k.UserRun(0, 200)                 // instruction fetches
+	k.UserTouchPages(UserDataBase, 4) // data
+	if mmu.ITLB.Valid() == 0 {
+		t.Fatal("instruction fetches did not fill the ITLB")
+	}
+	if mmu.TLB.Valid() == 0 {
+		t.Fatal("data accesses did not fill the DTLB")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTLBDataFloodSparesInstructionSide(t *testing.T) {
+	// The structural benefit of the split: a data working set larger
+	// than the whole TLB cannot evict instruction translations.
+	k := New(machine.New(split603()), Optimized())
+	img := k.LoadImage("test", 8)
+	k.Spawn(img)
+	k.UserRun(0, 2000) // establish text translations
+	iBefore := k.M.MMU.ITLB.Valid()
+	addr := k.SysMmap(256)
+	k.UserTouchPages(addr, 256) // flood: 4x the DTLB
+	if got := k.M.MMU.ITLB.Valid(); got < iBefore {
+		t.Fatalf("data flood evicted ITLB entries: %d -> %d", iBefore, got)
+	}
+	// Whereas a unified TLB loses text entries to the same flood:
+	ku := New(machine.New(clock.PPC603At180()), Optimized())
+	ku.Spawn(ku.LoadImage("test", 8))
+	ku.UserRun(0, 2000)
+	before := ku.M.Mon.Snapshot()
+	a2 := ku.SysMmap(256)
+	ku.UserTouchPages(a2, 256)
+	ku.UserRun(0, 2000) // text refetch now misses
+	if d := ku.M.Mon.Delta(before); d.TLBMisses < 256 {
+		t.Fatalf("unified flood should force text reloads too: %d misses", d.TLBMisses)
+	}
+}
+
+func TestSplitTLBFlushHitsBothSides(t *testing.T) {
+	k := New(machine.New(split603()), Optimized())
+	img := k.LoadImage("test", 8)
+	task := k.Spawn(img)
+	k.UserRun(0, 500)
+	k.UserTouchPages(UserDataBase, 4)
+	k.flushContext(task)
+	// Everything of the old context is stale; the consistency checker
+	// accepts zombies but a fresh touch must re-fault rather than
+	// reuse either side's old entries.
+	before := k.M.Mon.Snapshot()
+	k.UserRun(0, 500)
+	k.UserTouchPages(UserDataBase, 4)
+	d := k.M.Mon.Delta(before)
+	if d.TLBMisses == 0 {
+		t.Fatal("stale entries matched after context flush")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTLBEagerFlushInvalidatesITLB(t *testing.T) {
+	cfg := Unoptimized() // eager flushing physically invalidates
+	k := New(machine.New(split603()), cfg)
+	img := k.LoadImage("test", 8)
+	task := k.Spawn(img)
+	k.UserRun(0, 500)
+	if k.M.MMU.ITLB.Valid() == 0 {
+		t.Fatal("no ITLB entries to flush")
+	}
+	k.flushContext(task)
+	if got := k.M.MMU.ITLB.Valid(); got != 0 {
+		t.Fatalf("eager context flush left %d ITLB entries", got)
+	}
+	_ = arch.PageSize
+}

@@ -1,0 +1,365 @@
+// Package lmbench reimplements the LmBench microbenchmarks the paper
+// reports — null syscall, context switch, pipe latency, pipe bandwidth,
+// file reread, mmap latency, and process start — as workloads driving
+// the simulated kernel. Loop structures follow McVoy's lmbench 1.x; the
+// measured quantity is simulated cycles converted to microseconds or
+// MB/s at the machine's clock rate.
+package lmbench
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/kernel"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name string
+	// Micros is the per-operation latency in microseconds (latency
+	// benchmarks) or 0.
+	Micros float64
+	// MBps is the bandwidth in MB/s (bandwidth benchmarks) or 0.
+	MBps float64
+	// Cycles is the measured window in simulated cycles.
+	Cycles clock.Cycles
+	// Counters is the performance-monitor delta over the window.
+	Counters hwmon.Counters
+}
+
+func (r Result) String() string {
+	if r.MBps != 0 {
+		return fmt.Sprintf("%-12s %8.1f MB/s", r.Name, r.MBps)
+	}
+	return fmt.Sprintf("%-12s %8.1f us", r.Name, r.Micros)
+}
+
+// Suite runs benchmarks against one booted kernel. Each benchmark
+// creates the tasks it needs; reuse one Suite for a whole column of a
+// table so cache and hash-table state carry realistically between
+// benchmarks.
+type Suite struct {
+	K *kernel.Kernel
+}
+
+// New builds a Suite on a kernel.
+func New(k *kernel.Kernel) *Suite { return &Suite{K: k} }
+
+// measure runs fn under the counters and clock, returning the window.
+func (s *Suite) measure(name string, fn func()) Result {
+	before := s.K.M.Mon.Snapshot()
+	start := s.K.M.Led.Now()
+	fn()
+	d := s.K.M.Led.Now() - start
+	return Result{
+		Name:     name,
+		Cycles:   d,
+		Counters: s.K.M.Mon.Delta(before),
+	}
+}
+
+// NullSyscall measures the trivial system call (lmbench lat_syscall
+// null: a getppid loop).
+func (s *Suite) NullSyscall(iters int) Result {
+	img := s.K.LoadImage("null", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	for i := 0; i < iters/10+2; i++ { // warmup
+		s.K.SysNull()
+	}
+	r := s.measure("nullsys", func() {
+		for i := 0; i < iters; i++ {
+			s.K.SysNull()
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(t)
+	return r
+}
+
+// CtxSwitch measures process context switching (lmbench lat_ctx): n
+// processes in a ring pass a token through pipes; each process touches
+// wsPages pages of private working set per activation. The reported
+// time is the per-hop cost minus the pipe read/write overhead, which is
+// lmbench's definition.
+func (s *Suite) CtxSwitch(n, wsPages, iters int) Result {
+	img := s.K.LoadImage("lat_ctx", 4)
+	tasks := make([]*kernel.Task, n)
+	pipes := make([]*kernel.Pipe, n)
+	for i := range tasks {
+		tasks[i] = s.K.Spawn(img)
+	}
+	for i := range pipes {
+		s.K.Switch(tasks[i])
+		pipes[i] = s.K.SysPipe()
+	}
+	// Fault in each working set once.
+	for i, t := range tasks {
+		s.K.Switch(t)
+		if wsPages > 0 {
+			s.K.UserTouchPages(kernel.UserDataBase, wsPages)
+		}
+		_ = i
+	}
+
+	hop := func(i int) {
+		t := tasks[i]
+		s.K.Switch(t)
+		s.K.SysPipeRead(pipes[i], kernel.UserDataBase+0x100000, 1)
+		if wsPages > 0 {
+			s.K.UserTouchPages(kernel.UserDataBase, wsPages)
+		}
+		s.K.SysPipeWrite(pipes[(i+1)%n], kernel.UserDataBase+0x100000, 1)
+	}
+
+	// Prime the token and warm.
+	s.K.Switch(tasks[0])
+	s.K.SysPipeWrite(pipes[0], kernel.UserDataBase+0x100000, 1)
+	for w := 0; w < 2; w++ {
+		for i := 0; i < n; i++ {
+			hop(i)
+		}
+	}
+
+	r := s.measure("ctxsw", func() {
+		for it := 0; it < iters; it++ {
+			for i := 0; i < n; i++ {
+				hop(i)
+			}
+		}
+	})
+	hops := iters * n
+
+	// Overhead calibration: the same pipe read+write with no switch
+	// and no working set, in one process (lmbench subtracts this).
+	s.K.Switch(tasks[0])
+	self := s.K.SysPipe()
+	s.K.SysPipeWrite(self, kernel.UserDataBase+0x100000, 1)
+	s.K.SysPipeRead(self, kernel.UserDataBase+0x100000, 1)
+	ovh := s.measure("ovh", func() {
+		for i := 0; i < 64; i++ {
+			s.K.SysPipeWrite(self, kernel.UserDataBase+0x100000, 1)
+			s.K.SysPipeRead(self, kernel.UserDataBase+0x100000, 1)
+		}
+	})
+	perHop := s.K.M.Led.Micros(r.Cycles) / float64(hops)
+	perOvh := s.K.M.Led.Micros(ovh.Cycles) / 64
+	r.Name = fmt.Sprintf("ctxsw-%dp", n)
+	r.Micros = perHop - perOvh
+	if r.Micros < 0 {
+		r.Micros = 0
+	}
+	for _, t := range tasks {
+		s.reap(t)
+	}
+	return r
+}
+
+// PipeLatency measures one-way latency of a byte through a pair of
+// pipes between two processes (lmbench lat_pipe).
+func (s *Suite) PipeLatency(iters int) Result {
+	img := s.K.LoadImage("lat_pipe", 2)
+	a := s.K.Spawn(img)
+	b := s.K.Spawn(img)
+	s.K.Switch(a)
+	p1 := s.K.SysPipe()
+	p2 := s.K.SysPipe()
+	buf := kernel.UserDataBase
+
+	round := func() {
+		s.K.Switch(a)
+		s.K.SysPipeWrite(p1, buf, 1)
+		s.K.Switch(b)
+		s.K.SysPipeRead(p1, buf, 1)
+		s.K.SysPipeWrite(p2, buf, 1)
+		s.K.Switch(a)
+		s.K.SysPipeRead(p2, buf, 1)
+	}
+	for i := 0; i < iters/10+2; i++ {
+		round()
+	}
+	r := s.measure("pipelat", func() {
+		for i := 0; i < iters; i++ {
+			round()
+		}
+	})
+	// One round is two one-way trips.
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters) / 2
+	s.reap(a)
+	s.reap(b)
+	return r
+}
+
+// PipeBandwidth measures bulk pipe throughput (lmbench bw_pipe): a
+// writer streams 4 KB chunks from a 64 KB user buffer to a reader.
+func (s *Suite) PipeBandwidth(totalBytes int) Result {
+	img := s.K.LoadImage("bw_pipe", 2)
+	w := s.K.Spawn(img)
+	rd := s.K.Spawn(img)
+	s.K.Switch(w)
+	p := s.K.SysPipe()
+	const bufPages = 16 // 64 KB user buffer each side
+	chunk := arch.PageSize
+
+	xfer := func(i int) {
+		off := arch.EffectiveAddr((i % bufPages) * arch.PageSize)
+		s.K.Switch(w)
+		s.K.SysPipeWrite(p, kernel.UserDataBase+off, chunk)
+		s.K.Switch(rd)
+		s.K.SysPipeRead(p, kernel.UserDataBase+off, chunk)
+	}
+	for i := 0; i < 8; i++ { // warm buffers and pipe page
+		xfer(i)
+	}
+	n := totalBytes / chunk
+	r := s.measure("pipebw", func() {
+		for i := 0; i < n; i++ {
+			xfer(i)
+		}
+	})
+	r.MBps = s.K.M.Led.MBPerSec(int64(n)*int64(chunk), r.Cycles)
+	s.reap(w)
+	s.reap(rd)
+	return r
+}
+
+// FileReread measures rereading a page-cache-resident file (lmbench
+// bw_file_rd io_only): sequential 64 KB reads over the file, repeated.
+func (s *Suite) FileReread(filePages, passes int) Result {
+	img := s.K.LoadImage("bw_file", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	f := s.K.CreateFile(filePages)
+	const chunk = 64 * 1024
+	pass := func() {
+		for off := 0; off < f.Size(); off += chunk {
+			s.K.SysRead(f, off, kernel.UserDataBase, chunk)
+		}
+	}
+	pass() // warm
+	r := s.measure("filereread", func() {
+		for i := 0; i < passes; i++ {
+			pass()
+		}
+	})
+	r.MBps = s.K.M.Led.MBPerSec(int64(passes)*int64(f.Size()), r.Cycles)
+	s.reap(t)
+	return r
+}
+
+// MmapLatency measures mapping and unmapping a region (lmbench
+// lat_mmap). The unmap is where the §7 hash-table range-flush cost
+// lives; pages controls the region size.
+func (s *Suite) MmapLatency(pages, iters int) Result {
+	img := s.K.LoadImage("lat_mmap", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	// One warm pair.
+	addr := s.K.SysMmap(pages)
+	s.K.SysMunmap(addr, pages)
+	r := s.measure("mmaplat", func() {
+		for i := 0; i < iters; i++ {
+			a := s.K.SysMmap(pages)
+			s.K.SysMunmap(a, pages)
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(t)
+	return r
+}
+
+// ProcStart measures process creation (lmbench lat_proc: fork + exec +
+// a short run + exit).
+func (s *Suite) ProcStart(iters int) Result {
+	img := s.K.LoadImage("lat_proc", 8)
+	parent := s.K.Spawn(img)
+	s.K.Switch(parent)
+	s.K.UserTouch(kernel.UserDataBase, 4*arch.PageSize) // parent state
+	one := func() {
+		child := s.K.Fork()
+		s.K.Switch(child)
+		s.K.Exec(img)
+		s.K.UserRun(0, 2000)
+		s.K.UserTouch(kernel.UserDataBase, 2*arch.PageSize)
+		s.K.Exit()
+		s.K.Switch(parent)
+		s.K.Wait(child)
+	}
+	one() // warm
+	r := s.measure("pstart", func() {
+		for i := 0; i < iters; i++ {
+			one()
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(parent)
+	return r
+}
+
+// FsLatency measures creating and deleting empty files (lmbench
+// lat_fs, 0K case): per create+delete pair.
+func (s *Suite) FsLatency(iters int) Result {
+	img := s.K.LoadImage("lat_fs", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	s.K.SysCreat("warm", 0)
+	s.K.SysUnlink("warm")
+	r := s.measure("fslat", func() {
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("f%03d", i%64)
+			s.K.SysCreat(name, 0)
+			s.K.SysUnlink(name)
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(t)
+	return r
+}
+
+// SignalLatency measures installing-and-catching a signal (lmbench
+// lat_sig catch).
+func (s *Suite) SignalLatency(iters int) Result {
+	img := s.K.LoadImage("lat_sig", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	s.K.SysSignal(0, 60)
+	s.K.SysKill(t) // warm
+	r := s.measure("siglat", func() {
+		for i := 0; i < iters; i++ {
+			s.K.SysKill(t)
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(t)
+	return r
+}
+
+// ProtFaultLatency measures catching a write to a write-protected page
+// (lmbench lat_sig prot): mprotect, store, SIGSEGV, handler, restore.
+func (s *Suite) ProtFaultLatency(iters int) Result {
+	img := s.K.LoadImage("lat_prot", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	s.K.SysSignal(0, 60)
+	addr := s.K.SysMmap(4)
+	s.K.UserTouch(addr, 4*arch.PageSize)
+	s.K.SysMprotect(addr, 4, true)
+	s.K.UserRef(addr, true) // warm one fault
+	r := s.measure("protlat", func() {
+		for i := 0; i < iters; i++ {
+			s.K.UserRef(addr+arch.EffectiveAddr((i%4)*arch.PageSize), true)
+		}
+	})
+	r.Micros = s.K.M.Led.Micros(r.Cycles) / float64(iters)
+	s.reap(t)
+	return r
+}
+
+// reap exits and reaps a task created by a benchmark.
+func (s *Suite) reap(t *kernel.Task) {
+	s.K.Switch(t)
+	s.K.Exit()
+	s.K.Wait(t)
+}

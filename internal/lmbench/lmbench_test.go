@@ -1,0 +1,138 @@
+package lmbench
+
+import (
+	"strings"
+	"testing"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/machine"
+)
+
+func suite(t *testing.T, model clock.CPUModel, cfg kernel.Config) *Suite {
+	t.Helper()
+	return New(kernel.New(machine.New(model), cfg))
+}
+
+func TestNullSyscallMagnitude(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.NullSyscall(200)
+	if r.Micros <= 0 || r.Micros > 10 {
+		t.Fatalf("optimized null syscall = %.2f us, expect ~2 us scale", r.Micros)
+	}
+	if r.Counters.Syscalls != 200 {
+		t.Fatalf("syscalls counted = %d", r.Counters.Syscalls)
+	}
+	u := suite(t, clock.PPC604At133(), kernel.Unoptimized())
+	ru := u.NullSyscall(200)
+	if ru.Micros <= r.Micros {
+		t.Fatalf("unoptimized (%.2f) must be slower than optimized (%.2f)", ru.Micros, r.Micros)
+	}
+}
+
+func TestCtxSwitchScalesWithProcesses(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	r2 := s.CtxSwitch(2, 0, 30)
+	r8 := s.CtxSwitch(8, 4, 15)
+	if r2.Micros < 0 || r8.Micros <= 0 {
+		t.Fatalf("ctxsw: 2p=%.2f 8p=%.2f", r2.Micros, r8.Micros)
+	}
+	if r8.Micros <= r2.Micros {
+		t.Fatalf("8-process switching (%.2f) should cost more than 2-process (%.2f)", r8.Micros, r2.Micros)
+	}
+	if r2.Counters.CtxSwitches == 0 {
+		t.Fatal("no context switches recorded")
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.PipeLatency(50)
+	if r.Micros <= 0 || r.Micros > 200 {
+		t.Fatalf("pipe latency = %.2f us", r.Micros)
+	}
+	// Each round is 4 syscalls; 50 rounds measured.
+	if r.Counters.Syscalls != 200 {
+		t.Fatalf("syscalls = %d", r.Counters.Syscalls)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.PipeBandwidth(1 << 20)
+	if r.MBps < 5 || r.MBps > 500 {
+		t.Fatalf("pipe bandwidth = %.1f MB/s, expect tens", r.MBps)
+	}
+}
+
+func TestFileReread(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.FileReread(256, 2) // 1 MB file
+	if r.MBps < 5 || r.MBps > 500 {
+		t.Fatalf("file reread = %.1f MB/s", r.MBps)
+	}
+}
+
+func TestFileRereadSlowerThanPipe(t *testing.T) {
+	// The paper's tables consistently show file reread below pipe
+	// bandwidth (per-page page-cache lookups and a cold file).
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	pb := s.PipeBandwidth(1 << 20)
+	fr := s.FileReread(256, 2)
+	if fr.MBps >= pb.MBps {
+		t.Fatalf("file reread (%.1f) should trail pipe bw (%.1f)", fr.MBps, pb.MBps)
+	}
+}
+
+func TestMmapLatencyCutoffEffect(t *testing.T) {
+	// The §7 headline: eager range flushing makes mmap cost
+	// milliseconds; the cutoff collapses it by roughly two orders of
+	// magnitude.
+	eager := suite(t, clock.PPC603At133(), kernel.Unoptimized())
+	re := eager.MmapLatency(1024, 5)
+	tuned := suite(t, clock.PPC603At133(), kernel.Optimized())
+	rt := tuned.MmapLatency(1024, 5)
+	if re.Micros < 500 {
+		t.Fatalf("eager mmap latency = %.0f us, expect ~ms scale", re.Micros)
+	}
+	if rt.Micros > re.Micros/10 {
+		t.Fatalf("tuned mmap (%.1f us) should be >=10x cheaper than eager (%.1f us)", rt.Micros, re.Micros)
+	}
+}
+
+func TestProcStart(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	r := s.ProcStart(5)
+	if r.Micros <= 0 {
+		t.Fatal("pstart must cost something")
+	}
+	if r.Counters.Forks != 5 || r.Counters.Execs != 5 || r.Counters.Exits != 5 {
+		t.Fatalf("process counts: %+v", r.Counters)
+	}
+}
+
+func TestNoFrameLeaksAcrossSuite(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	free0 := s.K.M.Mem.FreeFrames()
+	s.NullSyscall(20)
+	s.PipeLatency(10)
+	s.ProcStart(3)
+	s.MmapLatency(64, 3)
+	// Images, files and pipe buffers are retained (they model the page
+	// cache), but task-private memory must all come back. Allow the
+	// retained kernel objects: images (4 distinct), pipes (3 pages).
+	free1 := s.K.M.Mem.FreeFrames()
+	retained := free0 - free1
+	if retained > 64 {
+		t.Fatalf("too many frames retained after benchmarks: %d", retained)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if !strings.Contains((Result{Name: "x", Micros: 1.5}).String(), "us") {
+		t.Error("latency format")
+	}
+	if !strings.Contains((Result{Name: "x", MBps: 3}).String(), "MB/s") {
+		t.Error("bandwidth format")
+	}
+}

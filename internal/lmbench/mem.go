@@ -1,0 +1,126 @@
+package lmbench
+
+import (
+	"mmutricks/internal/arch"
+)
+
+// Memory-hierarchy microbenchmarks in the lmbench style: the
+// lat_mem_rd load-latency curve and bw_mem-style bzero/bcopy
+// bandwidths. The bzero variants expose the §9 design space: plain
+// stores versus the dcbz cache-line-zero instruction the authors
+// deliberately avoided.
+
+// memChasePeriod builds a deterministic single-cycle permutation of the
+// line-granular offsets covering size bytes — the dependent-load chain
+// lat_mem_rd walks.
+func memChasePeriod(size, line int, seed uint32) []int {
+	n := size / line
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	x := seed | 1
+	rnd := func(m int) int {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return int(x % uint32(m))
+	}
+	for i := n - 1; i > 0; i-- { // Sattolo: one cycle
+		j := rnd(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[perm[i]] = perm[i+1]
+	}
+	next[perm[n-1]] = perm[0]
+	return next
+}
+
+// MemReadLatency measures the average cost in cycles of a dependent
+// load over a working set of the given size (lmbench lat_mem_rd). The
+// curve steps up at the L1 capacity and again at the TLB reach.
+func (s *Suite) MemReadLatency(sizeBytes, refs int) (cyclesPerLoad float64) {
+	img := s.K.LoadImage("lat_mem_rd", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	pages := (sizeBytes + arch.PageSize - 1) / arch.PageSize
+	base := s.K.SysMmap(pages)
+	s.K.UserTouchPages(base, pages) // fault in
+
+	line := s.K.M.LineSize()
+	next := memChasePeriod(sizeBytes, line, 1999)
+	pos := 0
+	// Warm one full cycle.
+	for i := 0; i < len(next); i++ {
+		s.K.UserRef(base+arch.EffectiveAddr(pos*line), false)
+		pos = next[pos]
+	}
+	start := s.K.M.Led.Now()
+	for i := 0; i < refs; i++ {
+		s.K.UserRef(base+arch.EffectiveAddr(pos*line), false)
+		pos = next[pos]
+	}
+	elapsed := s.K.M.Led.Now() - start
+	s.reap(t)
+	return float64(elapsed) / float64(refs)
+}
+
+// BzeroMode selects the §9 bzero implementation.
+type BzeroMode int
+
+const (
+	// BzeroStores clears with ordinary stores (the implementation the
+	// authors shipped).
+	BzeroStores BzeroMode = iota
+	// BzeroDCBZ clears with the cache-line-zero instruction (the one
+	// they avoided: fast, maximally polluting).
+	BzeroDCBZ
+)
+
+func (m BzeroMode) String() string {
+	if m == BzeroDCBZ {
+		return "dcbz"
+	}
+	return "stores"
+}
+
+// BzeroBandwidth measures clearing throughput over a buffer of the
+// given size (lmbench bw_mem bzero), in MB/s.
+func (s *Suite) BzeroBandwidth(sizeBytes, passes int, mode BzeroMode) Result {
+	img := s.K.LoadImage("bw_mem", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	pages := (sizeBytes + arch.PageSize - 1) / arch.PageSize
+	base := s.K.SysMmap(pages)
+	s.K.UserZero(base, sizeBytes, mode == BzeroDCBZ) // fault in + warm
+	r := s.measure("bzero-"+mode.String(), func() {
+		for p := 0; p < passes; p++ {
+			s.K.UserZero(base, sizeBytes, mode == BzeroDCBZ)
+		}
+	})
+	r.MBps = s.K.M.Led.MBPerSec(int64(passes)*int64(sizeBytes), r.Cycles)
+	s.reap(t)
+	return r
+}
+
+// BcopyBandwidth measures user-level copy throughput (lmbench bw_mem
+// bcopy), in MB/s.
+func (s *Suite) BcopyBandwidth(sizeBytes, passes int) Result {
+	img := s.K.LoadImage("bw_mem", 2)
+	t := s.K.Spawn(img)
+	s.K.Switch(t)
+	pages := (sizeBytes + arch.PageSize - 1) / arch.PageSize
+	src := s.K.SysMmap(pages)
+	dst := s.K.SysMmap(pages)
+	s.K.UserCopy(dst, src, sizeBytes) // fault in + warm
+	r := s.measure("bcopy", func() {
+		for p := 0; p < passes; p++ {
+			s.K.UserCopy(dst, src, sizeBytes)
+		}
+	})
+	r.MBps = s.K.M.Led.MBPerSec(int64(passes)*int64(sizeBytes), r.Cycles)
+	s.reap(t)
+	return r
+}

@@ -1,0 +1,61 @@
+package lmbench
+
+import (
+	"testing"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+)
+
+func TestMemReadLatencyCurve(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	inL1 := s.MemReadLatency(16*1024, 4000)   // fits the 32 KB L1
+	inMem := s.MemReadLatency(256*1024, 4000) // misses the L1
+	pastTLB := s.MemReadLatency(2<<20, 4000)  // past the 1 MB TLB reach
+	if inL1 > 3 {
+		t.Fatalf("L1-resident load = %.1f cycles, want ~1", inL1)
+	}
+	if inMem < 10*inL1 {
+		t.Fatalf("memory-resident load (%.1f) should dwarf L1 (%.1f)", inMem, inL1)
+	}
+	if pastTLB <= inMem {
+		t.Fatalf("past TLB reach (%.1f) should exceed cache-miss latency (%.1f)", pastTLB, inMem)
+	}
+}
+
+func TestBzeroModes(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	stores := s.BzeroBandwidth(64*1024, 4, BzeroStores)
+	s2 := suite(t, clock.PPC604At185(), kernel.Optimized())
+	dcbz := s2.BzeroBandwidth(64*1024, 4, BzeroDCBZ)
+	if dcbz.MBps <= stores.MBps {
+		t.Fatalf("dcbz bzero (%.0f MB/s) should beat store bzero (%.0f MB/s)", dcbz.MBps, stores.MBps)
+	}
+	if BzeroStores.String() != "stores" || BzeroDCBZ.String() != "dcbz" {
+		t.Error("mode names")
+	}
+}
+
+func TestBcopyBandwidth(t *testing.T) {
+	s := suite(t, clock.PPC604At185(), kernel.Optimized())
+	r := s.BcopyBandwidth(64*1024, 4)
+	if r.MBps < 10 || r.MBps > 2000 {
+		t.Fatalf("bcopy = %.0f MB/s", r.MBps)
+	}
+}
+
+func TestMemChasePeriodIsSingleCycle(t *testing.T) {
+	next := memChasePeriod(4096, 32, 7)
+	seen := make([]bool, len(next))
+	pos := 0
+	for i := 0; i < len(next); i++ {
+		if seen[pos] {
+			t.Fatalf("position %d revisited early", pos)
+		}
+		seen[pos] = true
+		pos = next[pos]
+	}
+	if pos != 0 {
+		t.Fatal("cycle does not close")
+	}
+}

@@ -1,0 +1,44 @@
+package lmbench
+
+import (
+	"testing"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+)
+
+func TestSignalLatency(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.SignalLatency(40)
+	if r.Micros <= 0 || r.Micros > 100 {
+		t.Fatalf("signal latency = %.2f us", r.Micros)
+	}
+	if r.Counters.Signals != 40 {
+		t.Fatalf("signals = %d", r.Counters.Signals)
+	}
+}
+
+func TestProtFaultLatency(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.ProtFaultLatency(40)
+	if r.Micros <= 0 || r.Micros > 200 {
+		t.Fatalf("prot fault latency = %.2f us", r.Micros)
+	}
+	if r.Counters.Signals != 40 {
+		t.Fatalf("signals = %d", r.Counters.Signals)
+	}
+	// Both are the same order: delivery dominates (the prot fault
+	// swaps the kill syscall's entry for a trap + decode).
+	rs := s.SignalLatency(40)
+	if r.Micros > 2*rs.Micros || rs.Micros > 2*r.Micros {
+		t.Fatalf("prot fault (%.2f) and plain signal (%.2f) should be comparable", r.Micros, rs.Micros)
+	}
+}
+
+func TestFsLatency(t *testing.T) {
+	s := suite(t, clock.PPC604At133(), kernel.Optimized())
+	r := s.FsLatency(50)
+	if r.Micros <= 0 || r.Micros > 500 {
+		t.Fatalf("fs latency = %.2f us", r.Micros)
+	}
+}

@@ -1,0 +1,181 @@
+// Package machine assembles one simulated PowerPC computer: a CPU model,
+// split L1 instruction/data caches, 32 MB of physical memory holding the
+// kernel image and the hashed page table, the MMU, a cycle ledger, and
+// the performance-monitor counters. It implements the memory bus the MMU
+// charges its table walks through, so every hash-table and page-table
+// access has real cache behaviour.
+package machine
+
+import (
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/phys"
+	"mmutricks/internal/ppc"
+)
+
+// Machine is one complete simulated computer.
+type Machine struct {
+	Model  clock.CPUModel
+	Led    *clock.Ledger
+	Mon    *hwmon.Counters
+	ICache *cache.Cache
+	DCache *cache.Cache
+	// L2 is the optional unified board cache (nil when the model has
+	// none).
+	L2  *cache.Cache
+	Mem *phys.Memory
+	MMU *ppc.MMU
+
+	// cacheLocked makes data misses bypass allocation (§10.1's
+	// locked-cache idle task). Toggled by the kernel around idle work.
+	cacheLocked bool
+}
+
+// Options tunes non-default machine construction.
+type Options struct {
+	// HTABGroups overrides the hash-table size (0 = the architected
+	// default for 32 MB, 2048 groups / 16384 PTEs).
+	HTABGroups int
+}
+
+// New builds a machine for the given CPU model with the default 32 MB
+// of RAM and a 2 MB kernel image.
+func New(model clock.CPUModel) *Machine {
+	return NewWithOptions(model, Options{})
+}
+
+// NewWithOptions builds a machine with overrides.
+func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
+	groups := opts.HTABGroups
+	if groups == 0 {
+		groups = arch.DefaultHTABGroups
+	}
+	m := &Machine{
+		Model:  model,
+		Led:    clock.NewLedger(model.MHz),
+		Mon:    &hwmon.Counters{},
+		ICache: cache.New("I", model.L1Size, model.L1Ways, model.LineSize),
+		DCache: cache.New("D", model.L1Size, model.L1Ways, model.LineSize),
+		Mem:    phys.NewWithHTAB(phys.DefaultRAM, 2<<20, groups),
+	}
+	if model.L2Size > 0 {
+		m.L2 = cache.New("L2", model.L2Size, 1, model.LineSize)
+	}
+	htab := ppc.NewHTAB(groups, m.Mem.Layout().HTABBase)
+	m.MMU = ppc.NewMMU(model, htab, m.Led, m, m.Mon)
+	return m
+}
+
+// MemAccess implements ppc.Bus: one physical data access on behalf of a
+// traffic class, charged through the D-cache (table walks are data
+// traffic). Inhibited accesses bypass the cache and pay the full memory
+// latency; misses that evict a dirty line pay the castout writeback on
+// top of the fill.
+func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, write bool) {
+	if inhibited {
+		m.DCache.AccessInhibited(class)
+		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		return
+	}
+	if m.cacheLocked {
+		if m.DCache.AccessNoAlloc(pa, class, write) {
+			m.Led.Charge(1)
+		} else {
+			m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		}
+		return
+	}
+	hit, castout := m.DCache.Access(pa, class, write)
+	if hit {
+		m.Led.Charge(1)
+		return
+	}
+	m.Led.Charge(clock.Cycles(1 + m.fillCost(pa, class, castout)))
+}
+
+// fillCost returns the cycles to service an L1 miss: through the L2
+// when present, straight to memory otherwise. Dirty castouts add a
+// writeback (absorbed by the L2 when there is one).
+func (m *Machine) fillCost(pa arch.PhysAddr, class cache.Class, castout bool) int {
+	if m.L2 == nil {
+		c := m.Model.MemLatency
+		if castout {
+			c += m.Model.MemLatency
+		}
+		return c
+	}
+	l2hit, _ := m.L2.Access(pa, class, false)
+	if l2hit {
+		return m.Model.L2Latency
+	}
+	c := m.Model.L2Latency + m.Model.MemLatency
+	if castout {
+		c += m.Model.L2Latency // the victim lands in the L2
+	}
+	return c
+}
+
+// SetCacheLock engages or releases the data-cache lock (§10.1). While
+// locked, misses read straight from memory without allocating.
+func (m *Machine) SetCacheLock(locked bool) { m.cacheLocked = locked }
+
+// CacheLocked reports whether the data-cache lock is engaged.
+func (m *Machine) CacheLocked() bool { return m.cacheLocked }
+
+// Prefetch issues a dcbt-style data prefetch: the line is filled with
+// normal eviction attribution but only the issue cost is charged — the
+// fill latency is assumed overlapped with useful work (§10.2).
+func (m *Machine) Prefetch(pa arch.PhysAddr, class cache.Class) {
+	m.DCache.Prefetch(pa, class)
+	m.Led.Charge(prefetchIssueCycles)
+}
+
+// prefetchIssueCycles is the cost of issuing one dcbt.
+const prefetchIssueCycles = 2
+
+// ZeroLine executes a dcbz: the line is established zeroed and dirty
+// with no memory read — one cycle, plus a castout if a dirty victim had
+// to leave.
+func (m *Machine) ZeroLine(pa arch.PhysAddr, class cache.Class) {
+	if m.DCache.ZeroLine(pa, class) {
+		m.Led.Charge(clock.Cycles(1 + m.Model.MemLatency))
+		return
+	}
+	m.Led.Charge(1)
+}
+
+// Fetch performs one physical instruction-side access (one cache line's
+// worth of instructions) through the I-cache.
+func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
+	if inhibited {
+		m.ICache.AccessInhibited(class)
+		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		return
+	}
+	if hit, _ := m.ICache.Access(pa, class, false); hit {
+		// Fetch hits are covered by the per-instruction execution
+		// charge; no extra cycles.
+		return
+	}
+	m.Led.Charge(clock.Cycles(m.fillCost(pa, class, false)))
+}
+
+// LineSize returns the cache line size for iteration helpers.
+func (m *Machine) LineSize() int { return m.Model.LineSize }
+
+// Reset clears caches, TLB and counters but keeps memory contents and
+// the hash table — a warm reboot for back-to-back experiments.
+func (m *Machine) Reset() {
+	m.ICache.InvalidateAll()
+	m.DCache.InvalidateAll()
+	if m.L2 != nil {
+		m.L2.InvalidateAll()
+		m.L2.ResetStats()
+	}
+	m.ICache.ResetStats()
+	m.DCache.ResetStats()
+	m.MMU.InvalidateTLBs()
+	*m.Mon = hwmon.Counters{}
+}

@@ -1,0 +1,95 @@
+package oscompare
+
+import (
+	"testing"
+
+	"mmutricks/internal/clock"
+)
+
+func find(rows []Row, name string) Row {
+	for _, r := range rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	return Row{}
+}
+
+func TestPersonalitiesLineUp(t *testing.T) {
+	ps := Personalities()
+	if len(ps) != 5 {
+		t.Fatalf("want 5 OSes, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" {
+			t.Fatal("unnamed personality")
+		}
+		if p.IPCHops > 0 && p.ServerInstr == 0 {
+			t.Fatalf("%s: IPC hops without server work", p.Name)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows := RunTable3(40)
+	l := find(rows, "Linux/PPC")
+	u := find(rows, "Unoptimized Linux/PPC")
+	mk := find(rows, "MkLinux")
+	rh := find(rows, "Rhapsody 5.0")
+	aix := find(rows, "AIX")
+
+	// Optimized Linux wins every latency row and the bandwidth row.
+	for _, o := range []Row{u, mk, rh, aix} {
+		if l.NullUS >= o.NullUS {
+			t.Errorf("Linux null (%.1f) should beat %s (%.1f)", l.NullUS, o.Name, o.NullUS)
+		}
+		if l.CtxUS >= o.CtxUS {
+			t.Errorf("Linux ctxsw (%.1f) should beat %s (%.1f)", l.CtxUS, o.Name, o.CtxUS)
+		}
+		if l.PipeUS >= o.PipeUS {
+			t.Errorf("Linux pipe lat (%.1f) should beat %s (%.1f)", l.PipeUS, o.Name, o.PipeUS)
+		}
+		if l.PipeMBps <= o.PipeMBps {
+			t.Errorf("Linux pipe bw (%.1f) should beat %s (%.1f)", l.PipeMBps, o.Name, o.PipeMBps)
+		}
+	}
+	// The Mach systems trail the monolithic kernels on pipes — the
+	// paper's 'distance micro-kernels have to travel' point.
+	for _, m := range []Row{mk, rh} {
+		if m.PipeUS <= u.PipeUS {
+			t.Errorf("%s pipe lat (%.1f) should trail unoptimized Linux (%.1f)", m.Name, m.PipeUS, u.PipeUS)
+		}
+		if m.PipeMBps >= u.PipeMBps {
+			t.Errorf("%s pipe bw (%.1f) should trail unoptimized Linux (%.1f)", m.Name, m.PipeMBps, u.PipeMBps)
+		}
+		if m.CtxUS <= aix.CtxUS {
+			t.Errorf("%s ctxsw (%.1f) should trail AIX (%.1f)", m.Name, m.CtxUS, aix.CtxUS)
+		}
+	}
+	// Paper ratios to sanity-check magnitude: optimized vs unoptimized
+	// null syscall was 2 vs 18 µs; require at least 3x here.
+	if u.NullUS < 3*l.NullUS {
+		t.Errorf("unoptimized null (%.2f) should be >=3x optimized (%.2f)", u.NullUS, l.NullUS)
+	}
+}
+
+func TestRunnerIPCCrossingsCounted(t *testing.T) {
+	var mk Personality
+	for _, p := range Personalities() {
+		if p.Name == "MkLinux" {
+			mk = p
+		}
+	}
+	r := NewRunner(mk, clock.PPC604At133())
+	// Null syscalls stay in the emulation library: no crossings.
+	res := r.NullSyscall(20)
+	if res.Counters.CtxSwitches != 0 {
+		t.Fatalf("null syscall made %d crossings; the emulation library should absorb it", res.Counters.CtxSwitches)
+	}
+	// Pipe operations cross to the UNIX server: each of the 4 ops per
+	// round costs 1 hop = 2 switches, plus the 2 client switches.
+	res = r.PipeLatency(10)
+	if res.Counters.CtxSwitches < 10*(4*2+2) {
+		t.Fatalf("pipe IPC switches = %d, want >= %d", res.Counters.CtxSwitches, 10*(4*2+2))
+	}
+}

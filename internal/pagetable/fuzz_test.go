@@ -1,0 +1,52 @@
+package pagetable
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/phys"
+)
+
+// FuzzMapUnmap drives map/unmap/lookup sequences and checks that the
+// tree's bookkeeping (entry counts, PTE-page lifecycle, frame returns)
+// stays exact.
+func FuzzMapUnmap(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 2, 0, 0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		mem := phys.New(1<<22, 4*arch.PageSize) // 4 MB arena
+		free0 := mem.FreeFrames()
+		tab, err := New(mem)
+		if err != nil {
+			t.Skip("oom")
+		}
+		live := map[uint32]bool{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			pn := uint32(ops[i+1])<<8 | uint32(ops[i+2])
+			ea := arch.EffectiveAddr(pn) << arch.PageShift
+			switch ops[i] % 3 {
+			case 0:
+				if err := tab.Map(ea, arch.PFN(pn%256), false); err == nil {
+					live[pn] = true
+				}
+			case 1:
+				_, ok := tab.Unmap(ea)
+				if ok != live[pn] {
+					t.Fatalf("unmap(%v) = %v, tracker says %v", ea, ok, live[pn])
+				}
+				delete(live, pn)
+			case 2:
+				_, ok := tab.Lookup(ea)
+				if ok != live[pn] {
+					t.Fatalf("lookup(%v) = %v, tracker says %v", ea, ok, live[pn])
+				}
+			}
+		}
+		if tab.Count() != len(live) {
+			t.Fatalf("Count() = %d, tracker has %d", tab.Count(), len(live))
+		}
+		tab.Destroy()
+		if mem.FreeFrames() != free0 {
+			t.Fatalf("frame leak: %d vs %d", mem.FreeFrames(), free0)
+		}
+	})
+}

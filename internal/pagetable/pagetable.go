@@ -1,0 +1,191 @@
+// Package pagetable implements the Linux-style two-level page-table
+// tree (an x86-shaped PGD → PTE-page structure) that Linux/PPC keeps as
+// the canonical source of translations. The PowerPC hash table is, as
+// the paper stresses, only a cache of this tree; the fast TLB-reload
+// path of §6.1 walks this tree directly "taking three loads in the
+// worst case".
+//
+// The tree's pages live in simulated physical memory, and WalkAddrs
+// exposes the physical addresses a walk touches so the kernel's reload
+// handlers can charge those loads through the cache model.
+package pagetable
+
+import (
+	"fmt"
+	"sort"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/phys"
+)
+
+// Geometry of the two-level tree on a 32-bit machine: the top ten bits
+// of the effective address index the PGD, the next ten index a PTE
+// page, each entry is four bytes.
+const (
+	// DirShift is the shift selecting the PGD index.
+	DirShift = 22
+	// EntriesPerPage is the entry count in the PGD and each PTE page.
+	EntriesPerPage = 1024
+	// EntryBytes is the size of one software PTE.
+	EntryBytes = 4
+)
+
+// Entry is one software PTE in the tree.
+type Entry struct {
+	// Present marks the translation valid.
+	Present bool
+	// RPN is the physical frame.
+	RPN arch.PFN
+	// Inhibited marks the page cache-inhibited.
+	Inhibited bool
+}
+
+// Table is one process's page-table tree.
+type Table struct {
+	mem      *phys.Memory
+	pgdFrame arch.PFN
+	// pteFrames maps PGD index -> frame holding that PTE page.
+	pteFrames map[int]arch.PFN
+	// live maps PGD index -> count of present entries in that page,
+	// so empty PTE pages can be freed.
+	live map[int]int
+	// entries holds the actual translations, keyed by effective page
+	// number. (The frames above give the walk its addresses; the map
+	// gives it its content.)
+	entries   map[uint32]Entry
+	destroyed bool
+}
+
+// New allocates a tree (one PGD page) from physical memory.
+func New(mem *phys.Memory) (*Table, error) {
+	pgd, ok := mem.AllocFrame()
+	if !ok {
+		return nil, fmt.Errorf("pagetable: out of memory allocating PGD")
+	}
+	return &Table{
+		mem:       mem,
+		pgdFrame:  pgd,
+		pteFrames: make(map[int]arch.PFN),
+		live:      make(map[int]int),
+		entries:   make(map[uint32]Entry),
+	}, nil
+}
+
+func dirIndex(ea arch.EffectiveAddr) int { return int(ea >> DirShift) }
+
+func pteIndex(ea arch.EffectiveAddr) int {
+	return int(ea>>arch.PageShift) & (EntriesPerPage - 1)
+}
+
+// Map installs a translation for the page containing ea. It allocates
+// a PTE page on first use of a 4 MB region.
+func (t *Table) Map(ea arch.EffectiveAddr, rpn arch.PFN, inhibited bool) error {
+	if t.destroyed {
+		panic("pagetable: use after Destroy")
+	}
+	di := dirIndex(ea)
+	if _, ok := t.pteFrames[di]; !ok {
+		f, ok := t.mem.AllocFrame()
+		if !ok {
+			return fmt.Errorf("pagetable: out of memory allocating PTE page")
+		}
+		t.pteFrames[di] = f
+	}
+	key := ea.PageNumber()
+	if _, present := t.entries[key]; !present {
+		t.live[di]++
+	}
+	t.entries[key] = Entry{Present: true, RPN: rpn, Inhibited: inhibited}
+	return nil
+}
+
+// Lookup finds the translation for the page containing ea.
+func (t *Table) Lookup(ea arch.EffectiveAddr) (Entry, bool) {
+	e, ok := t.entries[ea.PageNumber()]
+	return e, ok
+}
+
+// Unmap removes the translation, returning the entry it held. Empty
+// PTE pages are returned to the allocator.
+func (t *Table) Unmap(ea arch.EffectiveAddr) (Entry, bool) {
+	key := ea.PageNumber()
+	e, ok := t.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(t.entries, key)
+	di := dirIndex(ea)
+	t.live[di]--
+	if t.live[di] == 0 {
+		delete(t.live, di)
+		if f, ok := t.pteFrames[di]; ok {
+			t.mem.FreeFrame(f)
+			delete(t.pteFrames, di)
+		}
+	}
+	return e, true
+}
+
+// WalkAddrs returns the physical addresses a hardware-free walk of the
+// tree touches for ea: the PGD entry and the PTE entry. ok is false if
+// no PTE page covers ea (the walk stops after one load).
+func (t *Table) WalkAddrs(ea arch.EffectiveAddr) (pgdAddr, pteAddr arch.PhysAddr, ok bool) {
+	di := dirIndex(ea)
+	pgdAddr = t.pgdFrame.Addr() + arch.PhysAddr(di*EntryBytes)
+	f, present := t.pteFrames[di]
+	if !present {
+		return pgdAddr, 0, false
+	}
+	pteAddr = f.Addr() + arch.PhysAddr(pteIndex(ea)*EntryBytes)
+	return pgdAddr, pteAddr, true
+}
+
+// Count returns the number of present translations.
+func (t *Table) Count() int { return len(t.entries) }
+
+// PTEPages returns how many PTE pages are allocated.
+func (t *Table) PTEPages() int { return len(t.pteFrames) }
+
+// Range calls fn for every present translation with page number inside
+// [start, end) (end exclusive, page-aligned addresses). fn returning
+// false stops the walk early.
+func (t *Table) Range(start, end arch.EffectiveAddr, fn func(ea arch.EffectiveAddr, e Entry) bool) {
+	// Iterate by page to stay deterministic (map order is random).
+	for pn := start.PageNumber(); pn < end.PageNumber(); pn++ {
+		if e, ok := t.entries[pn]; ok {
+			if !fn(arch.EffectiveAddr(pn)<<arch.PageShift, e) {
+				return
+			}
+		}
+	}
+}
+
+// CountRange returns how many pages are mapped in [start, end).
+func (t *Table) CountRange(start, end arch.EffectiveAddr) int {
+	n := 0
+	t.Range(start, end, func(arch.EffectiveAddr, Entry) bool { n++; return true })
+	return n
+}
+
+// Destroy frees every frame the tree owns (PGD and PTE pages). The
+// mapped data frames are the caller's to free; Destroy only tears down
+// the tree itself.
+func (t *Table) Destroy() {
+	if t.destroyed {
+		return
+	}
+	t.destroyed = true
+	// Free in sorted directory order for deterministic allocator state.
+	dis := make([]int, 0, len(t.pteFrames))
+	for di := range t.pteFrames {
+		dis = append(dis, di)
+	}
+	sort.Ints(dis)
+	for _, di := range dis {
+		t.mem.FreeFrame(t.pteFrames[di])
+		delete(t.pteFrames, di)
+	}
+	t.mem.FreeFrame(t.pgdFrame)
+	t.entries = nil
+	t.live = nil
+}

@@ -1,0 +1,187 @@
+package ppc
+
+import (
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+)
+
+// MMU ties the translation resources together for one CPU. It performs
+// everything the hardware performs — BAT compare, segment lookup, TLB
+// lookup, and (on the 604) the hardware hash-table search — and raises
+// a Fault when software must take over.
+type MMU struct {
+	Model clock.CPUModel
+	// IBAT and DBAT are the instruction and data BAT arrays.
+	IBAT, DBAT BATArray
+	// TLB is the data-side lookaside buffer; with a unified model (the
+	// default — the paper reasons in total entry counts) ITLB is the
+	// same object. With CPUModel.SplitTLB the two are separate halves,
+	// as on the real 603.
+	TLB *TLB
+	// ITLB is the instruction-side buffer (== TLB when unified).
+	ITLB *TLB
+	// HTAB is the hashed page table in memory.
+	HTAB *HTAB
+
+	led *clock.Ledger
+	bus Bus
+	mon *hwmon.Counters
+
+	segs [arch.NumSegments]arch.VSID
+}
+
+// NewMMU builds an MMU for the given CPU model.
+func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *hwmon.Counters) *MMU {
+	m := &MMU{
+		Model: model,
+		HTAB:  htab,
+		led:   led,
+		bus:   bus,
+		mon:   mon,
+	}
+	if model.SplitTLB {
+		m.TLB = NewTLB(model.TLBEntries/2, model.TLBWays)
+		m.ITLB = NewTLB(model.TLBEntries/2, model.TLBWays)
+	} else {
+		m.TLB = NewTLB(model.TLBEntries, model.TLBWays)
+		m.ITLB = m.TLB
+	}
+	return m
+}
+
+// TLBFor returns the lookaside buffer serving the given access side.
+func (m *MMU) TLBFor(instr bool) *TLB {
+	if instr {
+		return m.ITLB
+	}
+	return m.TLB
+}
+
+// InvalidateVPNAll removes a translation from both TLBs (tlbie hits
+// every array on the real parts).
+func (m *MMU) InvalidateVPNAll(vpn arch.VPN) {
+	m.TLB.InvalidateVPN(vpn)
+	if m.ITLB != m.TLB {
+		m.ITLB.InvalidateVPN(vpn)
+	}
+}
+
+// InvalidateTLBs flushes both TLBs.
+func (m *MMU) InvalidateTLBs() {
+	m.TLB.InvalidateAll()
+	if m.ITLB != m.TLB {
+		m.ITLB.InvalidateAll()
+	}
+}
+
+// KernelTLBEntries counts valid kernel translations across both TLBs.
+func (m *MMU) KernelTLBEntries() int {
+	n := m.TLB.KernelEntries()
+	if m.ITLB != m.TLB {
+		n += m.ITLB.KernelEntries()
+	}
+	return n
+}
+
+// SetSegment loads segment register i with a VSID (the kernel does this
+// on context switch).
+func (m *MMU) SetSegment(i int, v arch.VSID) { m.segs[i] = v & arch.VSIDMask }
+
+// Segment returns segment register i.
+func (m *MMU) Segment(i int) arch.VSID { return m.segs[i] }
+
+// VPNFor computes the virtual page number the current segment registers
+// assign to ea.
+func (m *MMU) VPNFor(ea arch.EffectiveAddr) arch.VPN {
+	return arch.VPNOf(m.segs[ea.SegIndex()], ea)
+}
+
+// Result is the outcome of one translation.
+type Result struct {
+	PA        arch.PhysAddr
+	Inhibited bool
+	Fault     Fault
+	// VPN is the virtual page that faulted (valid when Fault != FaultNone).
+	VPN arch.VPN
+	// ViaBAT reports the translation was satisfied by a BAT register.
+	ViaBAT bool
+}
+
+// perPTECost is the fixed pipeline cost of examining one PTE during the
+// 604's hardware search, on top of the memory-system cost of the access
+// itself. 16 accesses x ~7 cycles plus memory time approximates the
+// paper's measured up-to-120-cycle hardware reload.
+const perPTECost = 7
+
+// Translate resolves one effective address, charging translation costs
+// to the ledger. instr selects the instruction-side BATs. A BAT hit and
+// a TLB hit are free (the compares happen in the pipeline); misses cost
+// what the paper measured.
+func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
+	bats := &m.DBAT
+	if instr {
+		bats = &m.IBAT
+	}
+	if pa, inh, ok := bats.Lookup(ea); ok {
+		m.mon.BATHits++
+		return Result{PA: pa, Inhibited: inh, ViaBAT: true}
+	}
+	vpn := m.VPNFor(ea)
+	if rpn, inh, ok := m.TLBFor(instr).Lookup(vpn); ok {
+		m.mon.TLBHits++
+		return Result{PA: rpn.Addr() + arch.PhysAddr(ea.Offset()), Inhibited: inh}
+	}
+	m.mon.TLBMisses++
+
+	if m.Model.Kind == clock.CPU603 {
+		// The 603 interrupts to software immediately; the handler-entry
+		// cost is charged by the kernel's handler, which also decides
+		// what data structure to search (§6).
+		return Result{Fault: FaultTLBMiss, VPN: vpn}
+	}
+
+	// 604: hardware hash-table search.
+	m.mon.HardwareWalks++
+	pte, primary, accesses := m.HTAB.Search(vpn, m.bus)
+	m.led.Charge(clock.Cycles(accesses * perPTECost))
+	if pte != nil {
+		m.mon.HTABHits++
+		if primary {
+			m.mon.HTABPrimaryHits++
+		}
+		pte.R = true
+		m.TLBFor(instr).Insert(vpn, pte.RPN, pte.CacheInhibited, ea.IsKernel())
+		return Result{PA: pte.RPN.Addr() + arch.PhysAddr(ea.Offset()), Inhibited: pte.CacheInhibited}
+	}
+	// Neither bucket matched: hash-table miss interrupt (>= 91 cycles
+	// just to invoke the handler, §5).
+	m.mon.HTABMisses++
+	m.mon.HashMissFaults++
+	m.led.Charge(clock.Cycles(m.Model.HashMissInterrupt))
+	return Result{Fault: FaultHashMiss, VPN: vpn}
+}
+
+// Probe translates without charging cycles or counters — for
+// assertions and tools. It reports ok=false if the address has no
+// hardware translation right now.
+func (m *MMU) Probe(ea arch.EffectiveAddr, instr bool) (arch.PhysAddr, bool) {
+	bats := &m.DBAT
+	if instr {
+		bats = &m.IBAT
+	}
+	if pa, _, ok := bats.Lookup(ea); ok {
+		return pa, true
+	}
+	vpn := m.VPNFor(ea)
+	set := m.TLBFor(instr).set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return set[i].rpn.Addr() + arch.PhysAddr(ea.Offset()), true
+		}
+	}
+	if pte, _, _ := m.HTAB.Search(vpn, nil); pte != nil {
+		return pte.RPN.Addr() + arch.PhysAddr(ea.Offset()), true
+	}
+	return 0, false
+}

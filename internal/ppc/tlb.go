@@ -1,0 +1,166 @@
+package ppc
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+)
+
+// TLBEntry is one translation held by the TLB.
+type TLBEntry struct {
+	valid     bool
+	vpn       arch.VPN
+	rpn       arch.PFN
+	inhibited bool
+	kernel    bool // translates a kernel address — for footprint stats
+	lru       uint64
+}
+
+// TLB is the set-associative translation lookaside buffer. Both the 603
+// (128 entries) and 604 (256 entries) are 2-way set-associative indexed
+// by the low bits of the effective page index, which is how the real
+// parts index their TLBs.
+type TLB struct {
+	sets    [][]TLBEntry
+	ways    int
+	setMask uint32
+	seq     uint64
+}
+
+// NewTLB builds a TLB with the given total entry count and
+// associativity. entries/ways must be a power of two.
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("ppc: bad TLB geometry %d/%d", entries, ways))
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("ppc: TLB set count %d not a power of two", nsets))
+	}
+	t := &TLB{sets: make([][]TLBEntry, nsets), ways: ways, setMask: uint32(nsets - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]TLBEntry, ways)
+	}
+	return t
+}
+
+// Entries returns the total capacity.
+func (t *TLB) Entries() int { return len(t.sets) * t.ways }
+
+func (t *TLB) set(vpn arch.VPN) []TLBEntry {
+	return t.sets[vpn.PageIndex()&t.setMask]
+}
+
+// Lookup searches for a translation of vpn.
+func (t *TLB) Lookup(vpn arch.VPN) (rpn arch.PFN, inhibited, ok bool) {
+	set := t.set(vpn)
+	t.seq++
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lru = t.seq
+			return set[i].rpn, set[i].inhibited, true
+		}
+	}
+	return 0, false, false
+}
+
+// Insert installs a translation, evicting the set's LRU entry if full.
+// kernel tags entries translating kernel addresses so the OS footprint
+// (§5.1's 33%-of-slots measurement) can be read off the TLB.
+func (t *TLB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited, kernel bool) {
+	set := t.set(vpn)
+	t.seq++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			victim = i
+			goto install
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto install
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+install:
+	set[victim] = TLBEntry{valid: true, vpn: vpn, rpn: rpn, inhibited: inhibited, kernel: kernel, lru: t.seq}
+}
+
+// InvalidateVPN removes a single translation (the tlbie instruction).
+func (t *TLB) InvalidateVPN(vpn arch.VPN) {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i] = TLBEntry{}
+		}
+	}
+}
+
+// InvalidateAll flushes the whole TLB (the tlbia instruction).
+func (t *TLB) InvalidateAll() {
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			t.sets[i][j] = TLBEntry{}
+		}
+	}
+}
+
+// Valid returns how many entries are currently valid.
+func (t *TLB) Valid() int {
+	n := 0
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			if t.sets[i][j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// KernelEntries returns how many valid entries translate kernel
+// addresses — the OS TLB footprint of §5.1.
+func (t *TLB) KernelEntries() int {
+	n := 0
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			if t.sets[i][j].valid && t.sets[i][j].kernel {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Snapshot returns the valid translations currently held, keyed by
+// virtual page number — for consistency checking and tools.
+func (t *TLB) Snapshot() map[arch.VPN]arch.PFN {
+	m := make(map[arch.VPN]arch.PFN)
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			if t.sets[i][j].valid {
+				m[t.sets[i][j].vpn] = t.sets[i][j].rpn
+			}
+		}
+	}
+	return m
+}
+
+// CountVSIDs returns how many valid entries belong to each VSID —
+// useful for observing zombie translations lingering after a lazy
+// flush.
+func (t *TLB) CountVSIDs() map[arch.VSID]int {
+	m := make(map[arch.VSID]int)
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			if t.sets[i][j].valid {
+				m[t.sets[i][j].vpn.VSID()]++
+			}
+		}
+	}
+	return m
+}

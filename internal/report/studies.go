@@ -1,0 +1,217 @@
+package report
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/machine"
+	"mmutricks/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "tlb-reach", Title: "TLB reach under realistic access patterns (§2/§5.1's Talluri caveat)", Run: runTLBReach})
+	register(Experiment{ID: "htab-size", Title: "Hash-table size vs hit rate (§7's RAM trade-off)", Run: runHTABSize})
+	register(Experiment{ID: "swap-flush", Title: "Swap storms and per-page flush cost (§6.2 x §7)", Run: runSwapFlush})
+}
+
+// ---------------------------------------------------------------------
+// Swap: a 32 MB machine thrashes; every page-out must flush its
+// translation. On a hash-table kernel that flush is the up-to-16-access
+// search of §7; the no-htab 603 (§6.2) pays only a tlbie. Swap storms
+// are therefore another place "improving hash tables away" shows up.
+// ---------------------------------------------------------------------
+
+func runSwapFlush(s Scale) *Table {
+	pages := s.pick(8200, 8800)
+	passes := s.pick(2, 3)
+	run := func(useHtab bool) (perPage float64, outs, searches uint64) {
+		cfg := kernel.Optimized()
+		cfg.UseHTAB = useHtab
+		k := kernel.New(machine.New(clock.PPC603At180()), cfg)
+		k.Spawn(k.LoadImage("thrash", 4))
+		k.SysBrk(pages + 64)
+		k.UserTouchPages(kernel.UserDataBase, pages)
+		before := k.M.Mon.Snapshot()
+		start := k.M.Led.Now()
+		for p := 0; p < passes; p++ {
+			k.UserTouchPages(kernel.UserDataBase, pages)
+		}
+		d := k.M.Mon.Delta(before)
+		perPage = float64(k.M.Led.Now()-start) / float64(passes*pages)
+		return perPage, d.SwapOuts, d.HTABFlushSearches
+	}
+	htabPP, htabOuts, htabSearches := run(true)
+	noPP, noOuts, noSearches := run(false)
+	return &Table{
+		ID: "swap-flush", Title: "thrashing a 32 MB 603: page-out flush cost with and without the hash table",
+		Headers: []string{"metric", "hash-table kernel", "no-htab kernel (§6.2)", ""},
+		Rows: [][]string{
+			{"cycles per referenced page", fmt.Sprintf("%.0f", htabPP), fmt.Sprintf("%.0f", noPP), ""},
+			{"pages swapped out", fmt.Sprintf("%d", htabOuts), fmt.Sprintf("%d", noOuts), ""},
+			{"hash-table flush search loads", fmt.Sprintf("%d", htabSearches), fmt.Sprintf("%d", noSearches), ""},
+		},
+		Paper: [][]string{
+			{"(no table — composes §6.2's no-htab kernel with §7's flush-cost analysis under memory pressure)"},
+		},
+		Notes: []string{
+			"swap device latency is a fixed simulation constant, identical in both columns; the delta is translation maintenance",
+			"shape target: the no-htab kernel does zero hash-table searches per page-out and is never slower",
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// TLB reach: §5.1 admits the LmBench-style benchmarks "do not represent
+// applications that really stress TLB capacity" (citing Talluri). This
+// study runs trace-driven working sets across the reach cliff on both
+// CPUs with the optimized kernel.
+// ---------------------------------------------------------------------
+
+func runTLBReach(s Scale) *Table {
+	refs := s.pick(30_000, 120_000)
+	sizes := []int{64, 128, 256, 512, 1024}
+	gens := func(pages int) []trace.Generator {
+		base := kernel.UserMmapBase
+		return []trace.Generator{
+			trace.NewSequential(base, pages),
+			trace.NewWorkingSet(base, pages, pages/8+1, 90, 1999),
+			trace.NewPointerChase(base, pages, 1999),
+			trace.NewZipfian(base, max(pages, 100), 1999),
+		}
+	}
+
+	genNames := []string{"sequential", "working-set 90/10", "pointer-chase", "zipfian"}
+
+	run := func(model clock.CPUModel, g trace.Generator, pages int) (missRate float64, nsPerRef float64) {
+		k := kernel.New(machine.New(model), kernel.Optimized())
+		img := k.LoadImage("trace", 4)
+		k.Spawn(img)
+		k.SysMmap(max(pages, 100))
+		// Fault everything in and warm up.
+		k.UserTouchPages(kernel.UserMmapBase, max(pages, 100))
+		for i := 0; i < refs/10; i++ {
+			k.UserRef(g.Next(), false)
+		}
+		before := k.M.Mon.Snapshot()
+		start := k.M.Led.Now()
+		for i := 0; i < refs; i++ {
+			k.UserRef(g.Next(), false)
+		}
+		d := k.M.Mon.Delta(before)
+		// A reference that misses is retried after the reload, which
+		// shows up as a second TLB event (a hit on the 603, another
+		// miss resolved by the hardware walk on the 604); count misses
+		// per original reference.
+		misses := d.TLBMisses - d.HashMissFaults
+		cyc := float64(k.M.Led.Now()-start) / float64(refs)
+		return float64(misses) / float64(refs), cyc
+	}
+
+	headers := []string{"pattern / pages"}
+	for _, p := range sizes {
+		headers = append(headers, fmt.Sprintf("%d pg", p))
+	}
+	var rows [][]string
+	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+		for gi := 0; gi < 4; gi++ {
+			row := []string{fmt.Sprintf("%s %s", model.Name, genNames[gi])}
+			for _, pages := range sizes {
+				g := gens(pages)[gi]
+				miss, cyc := run(model, g, pages)
+				row = append(row, fmt.Sprintf("%.1f%% (%.0fc)", 100*miss, cyc))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return &Table{
+		ID: "tlb-reach", Title: "TLB miss rate (and cycles/reference) vs working-set size",
+		Headers: headers,
+		Rows:    rows,
+		Paper: [][]string{
+			{"(no table — §5.1 flags the gap: \"it's quite possible that our benchmarks do not represent applications that really stress TLB capacity\")"},
+		},
+		Notes: []string{
+			"reach cliff targets: 128 pages (512 KB) on the 603's 128-entry TLB, 256 pages (1 MB) on the 604's 256 entries",
+			"sequential and pointer-chase walks fall off the cliff at exactly TLB capacity; skewed patterns degrade gracefully",
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Hash-table size: §7 — "we could have decreased the size of the hash
+// table and free RAM for use by the system but ... we decided to keep
+// the hash table size fixed to make comparisons more meaningful." This
+// is the sweep they skipped.
+// ---------------------------------------------------------------------
+
+func runHTABSize(s Scale) *Table {
+	rounds := s.pick(40, 160)
+	run := func(groups int) (hit float64, evict float64, occPct float64, ramKB int, seconds float64) {
+		cfg := kernel.Optimized()
+		cfg.UseHTAB = true
+		k := kernel.New(machine.NewWithOptions(clock.PPC604At185(), machine.Options{HTABGroups: groups}), cfg)
+		img := k.LoadImage("churn", 8)
+		tasks := make([]*kernel.Task, 6)
+		for i := range tasks {
+			tasks[i] = k.Spawn(img)
+		}
+		churn := func(n int) {
+			for r := 0; r < n; r++ {
+				for _, t := range tasks {
+					k.Switch(t)
+					if r%2 == 1 {
+						k.Exec(img)
+					}
+					k.UserTouchPages(kernel.UserDataBase, 320)
+				}
+				k.RunIdleFor(20_000)
+			}
+		}
+		churn(rounds / 2) // steady state
+		before := k.M.Mon.Snapshot()
+		start := k.M.Led.Now()
+		churn(rounds / 2)
+		d := k.M.Mon.Delta(before)
+		htab := k.M.MMU.HTAB
+		return d.HTABHitRate(), d.EvictRatio(),
+			float64(htab.Occupancy()) / float64(htab.Capacity()),
+			groups * arch.PTEGSize * arch.PTEBytes / 1024,
+			k.M.Led.Seconds(k.M.Led.Now() - start)
+	}
+	var rows [][]string
+	var baseline float64
+	for _, groups := range []int{256, 512, 1024, 2048, 4096} {
+		hit, evict, occ, ramKB, secs := run(groups)
+		if groups == 2048 {
+			baseline = secs
+		}
+		label := fmt.Sprintf("%d PTEs (%d KB)", groups*arch.PTEGSize, ramKB)
+		if groups == 2048 {
+			label += " [paper's]"
+		}
+		rows = append(rows, []string{
+			label, pct(hit), pct(evict), pct(occ), fmt.Sprintf("%.4f", secs),
+		})
+	}
+	_ = baseline
+	return &Table{
+		ID: "htab-size", Title: "hash-table size sweep under steady context churn (604/185)",
+		Headers: []string{"table size", "hash hit rate", "evict ratio", "occupancy", "workload (sim s)"},
+		Rows:    rows,
+		Paper: [][]string{
+			{"16384 PTEs (128 KB)", "85-98%", ">90% -> ~30% with reclaim", "600-2200 live PTEs", "(fixed for comparability)"},
+		},
+		Notes: []string{
+			"the paper kept 16384 PTEs fixed; this sweep answers its what-if: halving the table twice costs hit rate and time, doubling it buys little",
+		},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package report
+
+import (
+	"fmt"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/lmbench"
+	"mmutricks/internal/machine"
+	"mmutricks/internal/oscompare"
+	"mmutricks/internal/vsid"
+)
+
+func init() {
+	register(Experiment{ID: "figure1", Title: "PowerPC hash-table translation (Figure 1)", Run: runFigure1})
+	register(Experiment{ID: "table1", Title: "LmBench summary for direct (bypassing hash table) TLB reloads (Table 1)", Run: runTable1})
+	register(Experiment{ID: "table2", Title: "LmBench summary for tunable TLB range flushing (Table 2)", Run: runTable2})
+	register(Experiment{ID: "table3", Title: "LmBench summary for Linux/PPC and other operating systems (Table 3)", Run: runTable3})
+}
+
+// runFigure1 walks one address through the architecture of Figure 1,
+// then verifies the hardware model agrees with the arithmetic.
+func runFigure1(Scale) *Table {
+	m := machine.New(clock.PPC604At185())
+	k := kernel.New(m, kernel.Optimized())
+	img := k.LoadImage("fig1", 4)
+	t := k.Spawn(img)
+	k.Switch(t)
+
+	ea := arch.EffectiveAddr(0x104073A8) // segment 1, page index 0x4073, offset 0x3A8
+	seg := ea.SegIndex()
+	vs := m.MMU.Segment(seg)
+	va := arch.Virtual(vs, ea)
+	vpn := va.VPN()
+	rows := [][]string{
+		{"32-bit effective address", ea.String()},
+		{"4-bit segment-register index", fmt.Sprintf("%d", seg)},
+		{"24-bit VSID from segment register", fmt.Sprintf("0x%06x", uint32(vs))},
+		{"16-bit page index", fmt.Sprintf("0x%04x", ea.PageIndex())},
+		{"12-bit byte offset", fmt.Sprintf("0x%03x", ea.Offset())},
+		{"52-bit virtual address", fmt.Sprintf("0x%013x", uint64(va))},
+		{"primary hash bucket", fmt.Sprintf("%d", arch.HashPrimary(vpn, arch.DefaultHTABGroups))},
+		{"secondary hash bucket", fmt.Sprintf("%d", arch.HashSecondary(vpn, arch.DefaultHTABGroups))},
+	}
+	// Drive a real access through the path and report the resulting
+	// physical translation.
+	k.SysMmap(1) // region at UserMmapBase; we translate a mmapped page instead
+	k.UserTouch(kernel.UserMmapBase, 32)
+	if pa, ok := m.MMU.Probe(kernel.UserMmapBase, false); ok {
+		rows = append(rows, []string{"example resolved physical address", pa.String()})
+	}
+	return &Table{
+		ID: "figure1", Title: "PowerPC hash-table translation walk-through",
+		Headers: []string{"step", "value"},
+		Rows:    rows,
+		Notes: []string{
+			"the decomposition is property-tested in internal/arch; this table is the worked example",
+		},
+	}
+}
+
+// table1Col describes one machine column of Table 1.
+type table1Col struct {
+	name  string
+	model clock.CPUModel
+	cfg   kernel.Config
+}
+
+// lmbenchColumn runs the five Table 1/2 rows on one machine+config.
+type lmCol struct {
+	pstart, ctxsw, pipelat lmbench.Result
+	pipebw, reread         lmbench.Result
+	mmap                   lmbench.Result
+}
+
+func runLmCol(model clock.CPUModel, cfg kernel.Config, s Scale, mmapPages int) lmCol {
+	k := kernel.New(machine.New(model), cfg)
+	suite := lmbench.New(k)
+	var c lmCol
+	c.pstart = suite.ProcStart(s.pick(4, 16))
+	c.ctxsw = suite.CtxSwitch(2, 0, s.pick(20, 120))
+	c.pipelat = suite.PipeLatency(s.pick(30, 200))
+	c.pipebw = suite.PipeBandwidth(s.pick(1<<20, 4<<20))
+	c.reread = suite.FileReread(256, s.pick(2, 8))
+	if mmapPages > 0 {
+		c.mmap = suite.MmapLatency(mmapPages, s.pick(4, 12))
+	}
+	return c
+}
+
+func runTable1(s Scale) *Table {
+	base := kernel.Optimized()
+	withHtab := base
+	withHtab.UseHTAB = true
+	cols := []table1Col{
+		{"603 180MHz (htab)", clock.PPC603At180(), withHtab},
+		{"603 180MHz (no htab)", clock.PPC603At180(), base},
+		{"604 185MHz", clock.PPC604At185(), base},
+		{"604 200MHz", clock.PPC604At200(), base},
+	}
+	res := make([]lmCol, len(cols))
+	for i, c := range cols {
+		res[i] = runLmCol(c.model, c.cfg, s, 0)
+	}
+	headers := []string{"benchmark"}
+	for _, c := range cols {
+		headers = append(headers, c.name)
+	}
+	row := func(name string, f func(lmCol) string) []string {
+		r := []string{name}
+		for _, c := range res {
+			r = append(r, f(c))
+		}
+		return r
+	}
+	return &Table{
+		ID: "table1", Title: "direct TLB reloads on the 603 vs hardware reloads on the 604",
+		Headers: headers,
+		Rows: [][]string{
+			row("pstart", func(c lmCol) string { return us(c.pstart.Micros) }),
+			row("ctxsw", func(c lmCol) string { return us(c.ctxsw.Micros) }),
+			row("pipe lat.", func(c lmCol) string { return us(c.pipelat.Micros) }),
+			row("pipe bw", func(c lmCol) string { return mbps(c.pipebw.MBps) }),
+			row("file reread", func(c lmCol) string { return mbps(c.reread.MBps) }),
+		},
+		Paper: [][]string{
+			{"pstart", "1.8 s", "1.7 s", "1.6 s", "1.6 s"},
+			{"ctxsw", "4 us", "3 us", "4 us", "4 us"},
+			{"pipe lat.", "17 us", "19 us", "21 us", "20 us"},
+			{"pipe bw", "69 MB/s", "73 MB/s", "88 MB/s", "92 MB/s"},
+			{"file reread", "33 MB/s", "36 MB/s", "39 MB/s", "41 MB/s"},
+		},
+		Notes: []string{
+			"shape target: bypassing the hash table lets the 180 MHz 603 keep pace with the 185 MHz 604 despite half the TLB and cache (§6.2)",
+			"paper pstart is in seconds for a repeated process-creation loop; measured pstart is per fork+exec+exit",
+		},
+	}
+}
+
+// mmapPagesTable2 is the mapped-region size for the Table 2 mmap row:
+// 4 MB, large enough that the eager per-page hash search costs
+// milliseconds, as the paper observed.
+const mmapPagesTable2 = 1024
+
+func runTable2(s Scale) *Table {
+	// The 603 columns use software searches of the hash table (the
+	// paper says so under Table 2); the tuned columns add lazy flushes
+	// and the 20-page range cutoff.
+	eager := kernel.Optimized()
+	eager.UseHTAB = true
+	eager.LazyFlush = false
+	eager.FlushRangeCutoff = 0
+	eager.IdleReclaim = false
+	tuned := kernel.Optimized()
+	tuned.UseHTAB = true
+
+	cols := []table1Col{
+		{"603 133MHz", clock.PPC603At133(), eager},
+		{"603 133MHz (lazy)", clock.PPC603At133(), tuned},
+		{"604 185MHz", clock.PPC604At185(), eager},
+		{"604 185MHz (tune)", clock.PPC604At185(), tuned},
+	}
+	res := make([]lmCol, len(cols))
+	for i, c := range cols {
+		res[i] = runLmCol(c.model, c.cfg, s, mmapPagesTable2)
+	}
+	headers := []string{"benchmark"}
+	for _, c := range cols {
+		headers = append(headers, c.name)
+	}
+	row := func(name string, f func(lmCol) string) []string {
+		r := []string{name}
+		for _, c := range res {
+			r = append(r, f(c))
+		}
+		return r
+	}
+	return &Table{
+		ID: "table2", Title: "lazy VSID flushing and the tunable range-flush cutoff",
+		Headers: headers,
+		Rows: [][]string{
+			row("mmap lat.", func(c lmCol) string { return us(c.mmap.Micros) }),
+			row("ctxsw", func(c lmCol) string { return us(c.ctxsw.Micros) }),
+			row("pipe lat.", func(c lmCol) string { return us(c.pipelat.Micros) }),
+			row("pipe bw", func(c lmCol) string { return mbps(c.pipebw.MBps) }),
+			row("file reread", func(c lmCol) string { return mbps(c.reread.MBps) }),
+		},
+		Paper: [][]string{
+			{"mmap lat.", "3240 us", "41 us", "2733 us", "33 us"},
+			{"ctxsw", "6 us", "6 us", "4 us", "4 us"},
+			{"pipe lat.", "34 us", "28 us", "22 us", "21 us"},
+			{"pipe bw", "52 MB/s", "57 MB/s", "90 MB/s", "94 MB/s"},
+			{"file reread", "26 MB/s", "32 MB/s", "38 MB/s", "41 MB/s"},
+		},
+		Notes: []string{
+			"shape target: the ~80x mmap-latency collapse from avoiding per-page hash searches (§7)",
+			fmt.Sprintf("mmap row maps/unmaps %d pages (4 MB)", mmapPagesTable2),
+		},
+	}
+}
+
+func runTable3(s Scale) *Table {
+	rows := oscompare.RunTable3(s.pick(40, 200))
+	headers := []string{"OS", "null syscall", "ctx switch", "pipe lat.", "pipe bw"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Name, us(r.NullUS), us(r.CtxUS), us(r.PipeUS), mbps(r.PipeMBps)})
+	}
+	return &Table{
+		ID: "table3", Title: "Linux/PPC against other operating systems (133 MHz 604)",
+		Headers: headers,
+		Rows:    out,
+		Paper: [][]string{
+			{"Linux/PPC", "2 us", "6 us", "28 us", "52 MB/s"},
+			{"Unoptimized Linux/PPC", "18 us", "28 us", "78 us", "36 MB/s"},
+			{"Rhapsody 5.0", "15 us", "64 us", "161 us", "9 MB/s"},
+			{"MkLinux", "19 us", "64 us", "235 us", "15 MB/s"},
+			{"AIX", "11 us", "24 us", "89 us", "21 MB/s"},
+		},
+		Notes: []string{
+			"comparison kernels are cost personalities over the same hardware (see internal/oscompare); structural, not fitted",
+			"shape target: optimized monolithic < unoptimized monolithic < heavyweight UNIX < Mach-based, on every row",
+		},
+	}
+}
+
+// scatterName labels scatter constants in sec5.2 output.
+func scatterName(c uint32) string {
+	switch c {
+	case vsid.DefaultScatter:
+		return fmt.Sprintf("%d (tuned)", c)
+	default:
+		return fmt.Sprintf("%d", c)
+	}
+}

@@ -1,0 +1,118 @@
+// Package vsid implements the two VSID-allocation strategies the paper
+// contrasts in §5.2 and §7:
+//
+//   - PID-derived VSIDs: each process's segments get VSIDs derived from
+//     its process id times a scatter constant. The scatter constant is
+//     the §5.2 tuning knob — a small non-power-of-two constant spreads
+//     PTEs across the hash table and eliminates hot spots.
+//
+//   - Context-counter VSIDs: a monotonically increasing memory-
+//     management context number is assigned per address space, and
+//     flushing a whole context is a VSID *reassignment* — the old VSIDs
+//     become "zombies" that are still marked valid in the TLB and hash
+//     table but can never match. This is the lazy-flush mechanism of §7,
+//     and the zombie set is what the idle task's reclaim pass sweeps.
+package vsid
+
+import (
+	"mmutricks/internal/arch"
+)
+
+// DefaultScatter is the tuned non-power-of-two scatter constant. The
+// real Linux/PPC implementation multiplied the context by 897; it is a
+// small odd constant co-prime with the hash-table size, which is the
+// property that matters.
+const DefaultScatter = 897
+
+// For derives the VSID of segment seg for memory-management context (or
+// pid) ctx under scatter constant c.
+func For(ctx uint32, seg int, c uint32) arch.VSID {
+	return arch.VSID((ctx*c + uint32(seg))) & arch.VSIDMask
+}
+
+// SegmentSet returns the 16 VSIDs a context loads into the segment
+// registers.
+func SegmentSet(ctx uint32, c uint32) [arch.NumSegments]arch.VSID {
+	var s [arch.NumSegments]arch.VSID
+	for i := range s {
+		s[i] = For(ctx, i, c)
+	}
+	return s
+}
+
+// ContextAllocator hands out memory-management context numbers and
+// tracks which VSIDs belong to abandoned (zombie) contexts.
+type ContextAllocator struct {
+	scatter uint32
+	next    uint32
+	max     uint32
+	zombies map[arch.VSID]struct{}
+	// liveCount is how many contexts are currently live (allocated and
+	// not retired) — bookkeeping for tests and reports.
+	liveCount int
+}
+
+// NewContextAllocator builds an allocator with the given scatter
+// constant. max bounds the context counter; 0 selects the architected
+// maximum (the 24-bit VSID space divided by 16 segments).
+func NewContextAllocator(scatter uint32, max uint32) *ContextAllocator {
+	if scatter == 0 {
+		scatter = DefaultScatter
+	}
+	if max == 0 {
+		max = 1 << 20
+	}
+	return &ContextAllocator{
+		scatter: scatter,
+		next:    1, // context 0 is reserved for the kernel
+		max:     max,
+		zombies: make(map[arch.VSID]struct{}),
+	}
+}
+
+// Scatter returns the scatter constant in use.
+func (a *ContextAllocator) Scatter() uint32 { return a.scatter }
+
+// Alloc returns a fresh context number. wrapped reports that the
+// counter was exhausted and has been reset — the kernel must then flush
+// the TLB and hash table completely and re-assign every live task a new
+// context, since zombie tracking starts over.
+func (a *ContextAllocator) Alloc() (ctx uint32, wrapped bool) {
+	if a.next >= a.max {
+		a.next = 1
+		a.zombies = make(map[arch.VSID]struct{})
+		wrapped = true
+	}
+	ctx = a.next
+	a.next++
+	a.liveCount++
+	return ctx, wrapped
+}
+
+// Retire marks every VSID of ctx zombie. Old translations under these
+// VSIDs may remain "valid" in the TLB and hash table; they simply never
+// match again. This is the whole trick: retiring a context costs a map
+// update and 16 register loads instead of a hash-table search per page.
+func (a *ContextAllocator) Retire(ctx uint32) {
+	for seg := 0; seg < arch.NumSegments; seg++ {
+		a.zombies[For(ctx, seg, a.scatter)] = struct{}{}
+	}
+	a.liveCount--
+}
+
+// IsZombie reports whether v belongs to a retired context.
+func (a *ContextAllocator) IsZombie(v arch.VSID) bool {
+	_, ok := a.zombies[v]
+	return ok
+}
+
+// ZombieVSIDs returns how many VSIDs are currently tracked as zombies.
+func (a *ContextAllocator) ZombieVSIDs() int { return len(a.zombies) }
+
+// Live returns how many contexts are live.
+func (a *ContextAllocator) Live() int { return a.liveCount }
+
+// VSIDs returns the segment-register image for ctx.
+func (a *ContextAllocator) VSIDs(ctx uint32) [arch.NumSegments]arch.VSID {
+	return SegmentSet(ctx, a.scatter)
+}

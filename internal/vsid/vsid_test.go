@@ -1,0 +1,167 @@
+package vsid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mmutricks/internal/arch"
+)
+
+func TestForDistinctSegments(t *testing.T) {
+	seen := map[arch.VSID]bool{}
+	for seg := 0; seg < arch.NumSegments; seg++ {
+		v := For(1, seg, DefaultScatter)
+		if seen[v] {
+			t.Fatalf("segment %d reuses VSID %#x", seg, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestForDistinctContexts(t *testing.T) {
+	// Contexts must occupy disjoint VSID sets (for small context
+	// numbers; the 24-bit space eventually wraps).
+	seen := map[arch.VSID]uint32{}
+	for ctx := uint32(1); ctx <= 1000; ctx++ {
+		for seg := 0; seg < arch.NumSegments; seg++ {
+			v := For(ctx, seg, DefaultScatter)
+			if prev, ok := seen[v]; ok {
+				t.Fatalf("ctx %d seg %d collides with ctx %d on VSID %#x", ctx, seg, prev, v)
+			}
+			seen[v] = ctx
+		}
+	}
+}
+
+func TestSegmentSet(t *testing.T) {
+	s := SegmentSet(7, DefaultScatter)
+	for i, v := range s {
+		if v != For(7, i, DefaultScatter) {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestVSIDWithinArchitectedWidth(t *testing.T) {
+	f := func(ctx uint32, seg uint8) bool {
+		v := For(ctx, int(seg%arch.NumSegments), DefaultScatter)
+		return uint32(v) <= arch.VSIDMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocMonotonicAndLive(t *testing.T) {
+	a := NewContextAllocator(DefaultScatter, 0)
+	c1, w1 := a.Alloc()
+	c2, w2 := a.Alloc()
+	if w1 || w2 {
+		t.Fatal("fresh allocator should not wrap")
+	}
+	if c2 != c1+1 {
+		t.Fatalf("contexts not monotonic: %d %d", c1, c2)
+	}
+	if c1 == 0 {
+		t.Fatal("context 0 is reserved for the kernel")
+	}
+	if a.Live() != 2 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+}
+
+func TestRetireMakesZombies(t *testing.T) {
+	a := NewContextAllocator(DefaultScatter, 0)
+	ctx, _ := a.Alloc()
+	vs := a.VSIDs(ctx)
+	for _, v := range vs {
+		if a.IsZombie(v) {
+			t.Fatal("live VSID reported zombie")
+		}
+	}
+	a.Retire(ctx)
+	for _, v := range vs {
+		if !a.IsZombie(v) {
+			t.Fatal("retired VSID not zombie")
+		}
+	}
+	if a.ZombieVSIDs() != arch.NumSegments {
+		t.Fatalf("ZombieVSIDs = %d", a.ZombieVSIDs())
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+	// A successor context's VSIDs are not zombies.
+	ctx2, _ := a.Alloc()
+	for _, v := range a.VSIDs(ctx2) {
+		if a.IsZombie(v) {
+			t.Fatal("fresh context VSID reported zombie")
+		}
+	}
+}
+
+func TestWrapResetsZombies(t *testing.T) {
+	a := NewContextAllocator(DefaultScatter, 4)
+	var last uint32
+	for i := 0; i < 3; i++ {
+		c, wrapped := a.Alloc()
+		if wrapped {
+			t.Fatalf("premature wrap at %d", c)
+		}
+		a.Retire(c)
+		last = c
+	}
+	if a.ZombieVSIDs() == 0 {
+		t.Fatal("no zombies before wrap")
+	}
+	c, wrapped := a.Alloc()
+	if !wrapped {
+		t.Fatalf("expected wrap, got ctx %d after %d", c, last)
+	}
+	if c != 1 {
+		t.Fatalf("post-wrap context = %d, want 1", c)
+	}
+	if a.ZombieVSIDs() != 0 {
+		t.Fatal("wrap must clear the zombie set (kernel does the global flush)")
+	}
+}
+
+func TestZeroArgumentsDefaults(t *testing.T) {
+	a := NewContextAllocator(0, 0)
+	if a.Scatter() != DefaultScatter {
+		t.Fatalf("default scatter = %d", a.Scatter())
+	}
+}
+
+// TestScatterQuality demonstrates the §5.2 effect at the hash-function
+// level: with a non-power-of-two scatter constant, PTEs from many
+// similar address spaces spread across hash buckets far more evenly
+// than with a power-of-two constant (or no scattering).
+func TestScatterQuality(t *testing.T) {
+	load := func(c uint32) (buckets, maxLoad int) {
+		counts := map[int]int{}
+		// 64 processes mapping the same 32 low pages of segment 0 —
+		// "the logical address spaces of processes tend to be similar".
+		for ctx := uint32(1); ctx <= 64; ctx++ {
+			for page := 0; page < 32; page++ {
+				vpn := arch.VPNOf(For(ctx, 0, c), arch.EffectiveAddr(page<<arch.PageShift))
+				counts[arch.HashPrimary(vpn, arch.DefaultHTABGroups)]++
+			}
+		}
+		for _, n := range counts {
+			if n > maxLoad {
+				maxLoad = n
+			}
+		}
+		return len(counts), maxLoad
+	}
+	poorB, poorMax := load(1)              // VSID = ctx: clustered diffs
+	pow2B, pow2Max := load(2048)           // multiple of the group count: total collapse
+	goodB, goodMax := load(DefaultScatter) // tuned constant
+	if goodB <= pow2B || goodB <= poorB {
+		t.Fatalf("bucket coverage: c=1 %d, c=2048 %d, c=897 %d — tuned constant must cover most buckets", poorB, pow2B, goodB)
+	}
+	if goodMax >= poorMax || goodMax >= pow2Max {
+		t.Fatalf("hot spots: max load c=1 %d, c=2048 %d, c=897 %d — tuned constant must flatten hot spots", poorMax, pow2Max, goodMax)
+	}
+}

@@ -1,0 +1,23 @@
+# The paper-reproduction simulator is pure Go; these targets wrap the
+# toolchain invocations the project treats as canonical.
+
+.PHONY: build test check bench report
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check is the tier-1 gate: build, vet, gofmt, and the race-enabled
+# test suite. Run it before sending changes.
+check:
+	sh scripts/check.sh
+
+# bench regenerates BENCH_harness.json (sequential vs parallel harness
+# timing; see README.md).
+bench: build
+	go run ./cmd/mmureport -benchjson BENCH_harness.json
+
+report: build
+	go run ./cmd/mmureport -all

@@ -17,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mmutricks/internal/ablate"
 	"mmutricks/internal/clock"
 	"mmutricks/internal/kbuild"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/machine"
+	"mmutricks/internal/report"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		cpu    = flag.String("cpu", "603/180", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
 		units  = flag.Int("units", 4, "compile units per measured run (14 runs total)")
 		strays = flag.Int("strays", 6, "TLB-pressure references per compile step")
+		j      = flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size across the measured runs")
 	)
 	flag.Parse()
 
@@ -50,8 +53,9 @@ func main() {
 		return r.Cycles - r.IdleCycles
 	}
 
+	report.SetParallelism(*j)
 	fmt.Printf("interaction analysis: kernel compile on %s (%d units)\n\n", model.Name, *units)
-	fmt.Print(ablate.Run(metric, ablate.Knobs()).String())
+	fmt.Print(ablate.RunWith(metric, ablate.Knobs(), report.RowSet).String())
 	fmt.Println("\nA knob with a big solo gain and a small marginal gain has been")
 	fmt.Println("subsumed by the rest of the stack — §5.1's \"nearly all the measured")
 	fmt.Println("performance improvements ... evaporated when TLB miss handling was")

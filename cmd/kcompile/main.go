@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mmutricks/internal/clock"
 	"mmutricks/internal/kbuild"
@@ -20,13 +22,15 @@ import (
 
 func main() {
 	var (
-		cpu      = flag.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
-		cfgName  = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
-		units    = flag.Int("units", 24, "compilation units")
-		work     = flag.Int("work-pages", 160, "compiler working set (pages)")
-		strays   = flag.Int("strays", 0, "stray TLB-pressure references per compile step")
-		counters = flag.Bool("counters", false, "dump performance-monitor counters after the run")
-		profile  = flag.Bool("profile", false, "print the kernel-path cycle profile after the run")
+		cpu        = flag.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
+		cfgName    = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
+		units      = flag.Int("units", 24, "compilation units")
+		work       = flag.Int("work-pages", 160, "compiler working set (pages)")
+		strays     = flag.Int("strays", 0, "stray TLB-pressure references per compile step")
+		counters   = flag.Bool("counters", false, "dump performance-monitor counters after the run")
+		profile    = flag.Bool("profile", false, "print the kernel-path cycle profile after the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,6 +48,37 @@ func main() {
 	bcfg.Units = *units
 	bcfg.WorkPages = *work
 	bcfg.StrayRefs = *strays
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
+		}
+	}()
 
 	k := kernel.New(machine.New(model), cfg)
 	if *profile {

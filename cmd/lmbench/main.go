@@ -5,17 +5,27 @@
 //
 //	lmbench -cpu 604/185 -config optimized
 //	lmbench -cpu 603/133 -config unoptimized -counters
+//	lmbench -j 4
+//
+// Each benchmark runs in its own freshly booted kernel, so the
+// benchmarks are independent and the -j worker pool can run them
+// concurrently; results are gathered by index, making the output
+// byte-identical at every -j. With -counters the per-kernel
+// performance-monitor counters are summed into one machine-wide dump.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/lmbench"
 	"mmutricks/internal/machine"
+	"mmutricks/internal/report"
 )
 
 func main() {
@@ -24,7 +34,8 @@ func main() {
 		cfgName  = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
 		iters    = flag.Int("iters", 100, "iteration count for latency benchmarks")
 		mmapPg   = flag.Int("mmap-pages", 1024, "pages mapped by the mmap-latency benchmark")
-		counters = flag.Bool("counters", false, "dump performance-monitor counters after the run")
+		counters = flag.Bool("counters", false, "dump summed performance-monitor counters after the run")
+		j        = flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size across benchmarks")
 	)
 	flag.Parse()
 
@@ -38,33 +49,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lmbench: unknown config %q\n", *cfgName)
 		os.Exit(1)
 	}
+	report.SetParallelism(*j)
 
-	k := kernel.New(machine.New(model), cfg)
-	s := lmbench.New(k)
+	benchmarks := []func(*lmbench.Suite) lmbench.Result{
+		func(s *lmbench.Suite) lmbench.Result { return s.NullSyscall(*iters) },
+		func(s *lmbench.Suite) lmbench.Result { return s.ProcStart(max(2, *iters/10)) },
+		func(s *lmbench.Suite) lmbench.Result { return s.CtxSwitch(2, 0, *iters/2) },
+		func(s *lmbench.Suite) lmbench.Result { return s.CtxSwitch(8, 4, *iters/4) },
+		func(s *lmbench.Suite) lmbench.Result { return s.PipeLatency(*iters / 2) },
+		func(s *lmbench.Suite) lmbench.Result { return s.PipeBandwidth(2 << 20) },
+		func(s *lmbench.Suite) lmbench.Result { return s.FileReread(256, 4) },
+		func(s *lmbench.Suite) lmbench.Result { return s.MmapLatency(*mmapPg, max(2, *iters/10)) },
+		func(s *lmbench.Suite) lmbench.Result { return s.SignalLatency(*iters / 2) },
+		func(s *lmbench.Suite) lmbench.Result { return s.FsLatency(*iters / 2) },
+		func(s *lmbench.Suite) lmbench.Result { return s.ProtFaultLatency(*iters / 2) },
+		func(s *lmbench.Suite) lmbench.Result { return s.BzeroBandwidth(64<<10, 8, lmbench.BzeroStores) },
+		func(s *lmbench.Suite) lmbench.Result { return s.BcopyBandwidth(64<<10, 8) },
+	}
+
+	// One slot past the benchmarks holds the memrd latency pair, which
+	// shares a kernel between its two sizes like the other rows share
+	// their iterations.
+	results := make([]lmbench.Result, len(benchmarks))
+	mons := make([]hwmon.Counters, len(benchmarks)+1)
+	var memrd64k, memrd2m float64
+	report.RowSet(len(benchmarks)+1, func(i int) {
+		k := kernel.New(machine.New(model), cfg)
+		s := lmbench.New(k)
+		if i < len(benchmarks) {
+			results[i] = benchmarks[i](s)
+		} else {
+			memrd64k = s.MemReadLatency(64<<10, 4000)
+			memrd2m = s.MemReadLatency(2<<20, 4000)
+		}
+		mons[i] = k.M.Mon.Snapshot()
+	})
 
 	fmt.Printf("machine: %s   kernel: %s\n\n", model.Name, *cfgName)
-	results := []lmbench.Result{
-		s.NullSyscall(*iters),
-		s.ProcStart(max(2, *iters/10)),
-		s.CtxSwitch(2, 0, *iters/2),
-		s.CtxSwitch(8, 4, *iters/4),
-		s.PipeLatency(*iters / 2),
-		s.PipeBandwidth(2 << 20),
-		s.FileReread(256, 4),
-		s.MmapLatency(*mmapPg, max(2, *iters/10)),
-		s.SignalLatency(*iters / 2),
-		s.FsLatency(*iters / 2),
-		s.ProtFaultLatency(*iters / 2),
-		s.BzeroBandwidth(64<<10, 8, lmbench.BzeroStores),
-		s.BcopyBandwidth(64<<10, 8),
-	}
 	for _, r := range results {
 		fmt.Println(r)
 	}
-	fmt.Printf("%-12s %8.1f cycles/load (64K) / %.1f (2M)\n", "memrd",
-		s.MemReadLatency(64<<10, 4000), s.MemReadLatency(2<<20, 4000))
+	fmt.Printf("%-12s %8.1f cycles/load (64K) / %.1f (2M)\n", "memrd", memrd64k, memrd2m)
 	if *counters {
-		fmt.Printf("\n%s", k.M.Mon.String())
+		var total hwmon.Counters
+		for _, m := range mons {
+			total.Add(m)
+		}
+		fmt.Printf("\n%s", total.String())
 	}
 }
 

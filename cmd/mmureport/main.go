@@ -7,51 +7,204 @@
 //	mmureport -experiment table2    run one experiment
 //	mmureport -all                  run everything
 //	mmureport -all -full            run everything at full scale
+//	mmureport -all -j 8             run everything on 8 workers
+//	mmureport -benchjson out.json   benchmark the harness itself
 //
 // Each experiment prints a [measured] grid and, where the paper gives
-// directly comparable numbers, a [paper] grid next to it.
+// directly comparable numbers, a [paper] grid next to it. The -all
+// output is byte-identical at every -j: results are gathered by index
+// and rendered in registry order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"mmutricks/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list = flag.Bool("list", false, "list experiments and exit")
-		exp  = flag.String("experiment", "", "run a single experiment by id")
-		all  = flag.Bool("all", false, "run every experiment")
-		full = flag.Bool("full", false, "run at full scale (slower, EXPERIMENTS.md sizes)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("experiment", "", "run a single experiment by id")
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "run at full scale (slower, EXPERIMENTS.md sizes)")
+		quick      = flag.Bool("quick", false, "run at quick scale (the default; explicit for scripts)")
+		j          = flag.Int("j", runtime.GOMAXPROCS(0), "harness worker-pool size")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		benchjson  = flag.String("benchjson", "", "benchmark the harness (sequential vs -j) and write JSON to this file")
 	)
 	flag.Parse()
 
+	if *quick && *full {
+		fmt.Fprintln(os.Stderr, "mmureport: -quick and -full are mutually exclusive")
+		return 2
+	}
 	scale := report.Quick
 	if *full {
 		scale = report.Full
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
+
+	report.SetParallelism(*j)
 
 	switch {
 	case *list:
 		for _, e := range report.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
+	case *benchjson != "":
+		return benchHarness(*benchjson, scale, *j)
 	case *exp != "":
 		e, ok := report.Find(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "mmureport: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(e.Run(scale).Render())
 	case *all:
-		for _, e := range report.All() {
-			fmt.Println(e.Run(scale).Render())
+		failed := 0
+		for _, r := range report.RunAll(scale, *j) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
+				failed++
+				continue
+			}
+			fmt.Println(r.Table.Render())
+		}
+		if failed > 0 {
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+	}
+}
+
+// benchExperiment is one registry entry's cost in the sequential pass,
+// where per-experiment sim-cycle attribution is exact.
+type benchExperiment struct {
+	ID        string  `json:"id"`
+	WallMS    float64 `json:"wall_ms"`
+	SimCycles uint64  `json:"sim_cycles"`
+}
+
+type benchDoc struct {
+	Scale           string            `json:"scale"`
+	Parallelism     int               `json:"parallelism"`
+	HostCPUs        int               `json:"host_cpus"`
+	SequentialMS    float64           `json:"sequential_ms"`
+	ParallelMS      float64           `json:"parallel_ms"`
+	Speedup         float64           `json:"speedup"`
+	IdenticalOutput bool              `json:"identical_output"`
+	Experiments     []benchExperiment `json:"experiments"`
+}
+
+// benchHarness times the full registry once sequentially (exact
+// per-experiment attribution) and once on j workers, checks the two
+// rendered outputs are byte-identical, and writes the comparison as
+// JSON.
+func benchHarness(path string, scale report.Scale, j int) int {
+	scaleName := "quick"
+	if scale == report.Full {
+		scaleName = "full"
+	}
+
+	seqStart := time.Now()
+	seq := report.RunAll(scale, 1)
+	seqWall := time.Since(seqStart)
+
+	parStart := time.Now()
+	par := report.RunAll(scale, j)
+	parWall := time.Since(parStart)
+
+	doc := benchDoc{
+		Scale:           scaleName,
+		Parallelism:     j,
+		HostCPUs:        runtime.NumCPU(),
+		SequentialMS:    float64(seqWall.Microseconds()) / 1000,
+		ParallelMS:      float64(parWall.Microseconds()) / 1000,
+		Speedup:         seqWall.Seconds() / parWall.Seconds(),
+		IdenticalOutput: renderAll(seq) == renderAll(par),
+	}
+	for _, r := range seq {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
+			return 1
+		}
+		doc.Experiments = append(doc.Experiments, benchExperiment{
+			ID:        r.Experiment.ID,
+			WallMS:    float64(r.Wall.Microseconds()) / 1000,
+			SimCycles: r.SimCycles,
+		})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)
+		return 1
+	}
+	fmt.Printf("harness: sequential %.1fms, -j %d %.1fms (%.2fx), output identical: %v\n",
+		doc.SequentialMS, j, doc.ParallelMS, doc.Speedup, doc.IdenticalOutput)
+	if !doc.IdenticalOutput {
+		return 1
+	}
+	return 0
+}
+
+func renderAll(rs []report.RunResult) string {
+	var out string
+	for _, r := range rs {
+		if r.Table != nil {
+			out += r.Table.Render() + "\n"
+		}
+	}
+	return out
 }

@@ -100,27 +100,53 @@ type Result struct {
 	Rows       []Row
 }
 
-// Run performs the analysis: 2 + 2*len(knobs) measured runs.
+// Each dispatches fn(0..n-1); callers inject a parallel implementation
+// (the report harness passes its RowSet) while Run uses a sequential
+// loop. Implementations must complete every fn before returning.
+type Each func(n int, fn func(i int))
+
+// Run performs the analysis sequentially: 2 + 2*len(knobs) measured
+// runs.
 func Run(metric Metric, knobs []Knob) Result {
+	return RunWith(metric, knobs, func(n int, fn func(i int)) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RunWith performs the analysis with the independent measured runs
+// dispatched through each. The config list is built up front and
+// results are gathered by index, so the Result is identical for any
+// conforming Each.
+func RunWith(metric Metric, knobs []Knob, each Each) Result {
 	base := kernel.Unoptimized()
 	opt := kernel.Optimized()
-	baseC := metric(base)
-	optC := metric(opt)
-
-	res := Result{
-		BaselineCycles:  baseC,
-		OptimizedCycles: optC,
-		CombinedGain:    gain(baseC, optC),
-	}
+	// The flat run list: baseline, optimized, then each knob's solo and
+	// optimized-without configurations.
+	cfgs := make([]kernel.Config, 0, 2+2*len(knobs))
+	cfgs = append(cfgs, base, opt)
 	for _, k := range knobs {
 		solo := base
 		k.Enable(&solo)
 		without := opt
 		k.Disable(&without)
+		cfgs = append(cfgs, solo, without)
+	}
+	cycles := make([]clock.Cycles, len(cfgs))
+	each(len(cfgs), func(i int) { cycles[i] = metric(cfgs[i]) })
+
+	baseC, optC := cycles[0], cycles[1]
+	res := Result{
+		BaselineCycles:  baseC,
+		OptimizedCycles: optC,
+		CombinedGain:    gain(baseC, optC),
+	}
+	for i, k := range knobs {
 		r := Row{
 			Knob:         k,
-			SoloGain:     gain(baseC, metric(solo)),
-			MarginalGain: gain(metric(without), optC),
+			SoloGain:     gain(baseC, cycles[2+2*i]),
+			MarginalGain: gain(cycles[3+2*i], optC),
 		}
 		res.SumOfSolos += r.SoloGain
 		res.Rows = append(res.Rows, r)

@@ -1,0 +1,20 @@
+package cache
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+)
+
+// Every simulated memory reference passes through Access; it must not
+// allocate on hits or on fills.
+func TestAccessZeroAllocs(t *testing.T) {
+	c := New("d", 32<<10, 4, 32)
+	var pa arch.PhysAddr
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Access(pa, ClassUser, false)
+		pa += 32
+	}); n != 0 {
+		t.Fatalf("Access allocates %.1f times per op, want 0", n)
+	}
+}

@@ -4,7 +4,10 @@
 // microseconds/MB-per-second units LmBench reports.
 package clock
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CPUKind distinguishes the two TLB-reload mechanisms the paper studies:
 // the 603 takes a software interrupt on every TLB miss, the 604 walks the
@@ -149,13 +152,30 @@ func ModelByName(name string) (CPUModel, bool) {
 // Cycles is a count of simulated CPU cycles.
 type Cycles uint64
 
+// meter is the process-wide total of simulated cycles charged across
+// all ledgers. Ledgers flush to it in batches so the (single-hottest-
+// path) Charge call pays no atomic per charge; the total therefore
+// trails reality by less than meterBatch cycles per live ledger.
+var meter atomic.Uint64
+
+// meterBatch is the flush granularity: small enough that per-experiment
+// readings are accurate to a fraction of a percent, large enough that
+// the atomic add is amortized over tens of thousands of charges.
+const meterBatch = 1 << 16
+
+// MeterNow returns the process-wide simulated-cycle total. It is safe
+// to call concurrently; per-interval attribution is only exact when a
+// single simulation runs at a time (the sequential harness pass).
+func MeterNow() uint64 { return meter.Load() }
+
 // Ledger accumulates simulated cycles. Components charge it; the
 // benchmark harness reads elapsed time from it. A Ledger also tracks a
 // nesting count of "accounting pauses" so measurement scaffolding can
 // exclude itself (not used by the kernel proper).
 type Ledger struct {
-	mhz    int
-	cycles Cycles
+	mhz     int
+	cycles  Cycles
+	pending Cycles
 }
 
 // NewLedger returns a ledger converting cycles at the given core clock.
@@ -167,7 +187,14 @@ func NewLedger(mhz int) *Ledger {
 }
 
 // Charge adds n cycles to the ledger. Negative charges are rejected.
-func (l *Ledger) Charge(n Cycles) { l.cycles += n }
+func (l *Ledger) Charge(n Cycles) {
+	l.cycles += n
+	l.pending += n
+	if l.pending >= meterBatch {
+		meter.Add(uint64(l.pending))
+		l.pending = 0
+	}
+}
 
 // Now returns the cycle count so far.
 func (l *Ledger) Now() Cycles { return l.cycles }

@@ -116,6 +116,44 @@ func (c *Counters) Delta(since Counters) Counters {
 	return d
 }
 
+// Add accumulates another counter set into c, field by field. The
+// benchmark drivers use it to aggregate monitors from independent
+// per-benchmark kernels into one machine-wide view.
+func (c *Counters) Add(o Counters) {
+	c.TLBHits += o.TLBHits
+	c.TLBMisses += o.TLBMisses
+	c.BATHits += o.BATHits
+	c.HTABHits += o.HTABHits
+	c.HTABMisses += o.HTABMisses
+	c.HTABPrimaryHits += o.HTABPrimaryHits
+	c.HTABInserts += o.HTABInserts
+	c.HTABEvictsValid += o.HTABEvictsValid
+	c.HTABEvictsZombie += o.HTABEvictsZombie
+	c.HTABFreeSlot += o.HTABFreeSlot
+	c.HTABFlushSearches += o.HTABFlushSearches
+	c.SoftwareReloads += o.SoftwareReloads
+	c.HardwareWalks += o.HardwareWalks
+	c.HashMissFaults += o.HashMissFaults
+	c.MinorFaults += o.MinorFaults
+	c.MajorFaults += o.MajorFaults
+	c.FlushPage += o.FlushPage
+	c.FlushRange += o.FlushRange
+	c.FlushContext += o.FlushContext
+	c.Signals += o.Signals
+	c.Syscalls += o.Syscalls
+	c.CtxSwitches += o.CtxSwitches
+	c.Forks += o.Forks
+	c.Execs += o.Execs
+	c.Exits += o.Exits
+	c.SwapOuts += o.SwapOuts
+	c.SwapIns += o.SwapIns
+	c.OnDemandScans += o.OnDemandScans
+	c.IdlePolls += o.IdlePolls
+	c.ZombiesReclaimed += o.ZombiesReclaimed
+	c.IdlePagesCleared += o.IdlePagesCleared
+	c.ClearedPageHits += o.ClearedPageHits
+}
+
 // TLBMissRate returns TLB misses / (hits+misses); 0 when idle.
 func (c *Counters) TLBMissRate() float64 {
 	t := c.TLBHits + c.TLBMisses

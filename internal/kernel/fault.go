@@ -243,7 +243,8 @@ func (k *Kernel) htabInsert(vpn arch.VPN, rpn arch.PFN, inhibited bool) {
 
 // treeWalk walks the Linux two-level page tables for t — the "three
 // loads in the worst case" of §6.1: the task's page-directory pointer,
-// the directory entry, and the PTE.
+// the directory entry, and the PTE. A single fused descent of the tree
+// yields both the entry and the addresses to charge.
 func (k *Kernel) treeWalk(t *Task, ea arch.EffectiveAddr) (pagetableEntry, bool) {
 	if t == nil {
 		panic(fmt.Sprintf("kernel: user access %v with no task", ea))
@@ -251,15 +252,14 @@ func (k *Kernel) treeWalk(t *Task, ea arch.EffectiveAddr) (pagetableEntry, bool)
 	inh := k.ptInhibited()
 	// Load 1: the mm/pgd pointer in the task struct.
 	k.M.MemAccess(k.dataPA+arch.PhysAddr(dataTaskStructs+t.slotOff()), cache.ClassKernelData, false, false)
-	pgdAddr, pteAddr, ok := t.PT.WalkAddrs(ea)
+	e, pgdAddr, pteAddr, present := t.PT.Walk(ea)
 	// Load 2: the page-directory entry.
 	k.M.MemAccess(pgdAddr, cache.ClassPageTable, inh, false)
-	if !ok {
+	if pteAddr == 0 {
 		return pagetableEntry{}, false
 	}
 	// Load 3: the PTE.
 	k.M.MemAccess(pteAddr, cache.ClassPageTable, inh, false)
-	e, present := t.PT.Lookup(ea)
 	if !present {
 		return pagetableEntry{}, false
 	}

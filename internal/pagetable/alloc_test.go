@@ -1,0 +1,52 @@
+package pagetable
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/phys"
+)
+
+// The page-table tree sits on the simulator's hottest path (every
+// simulated TLB-miss reload walks it), so its read operations must not
+// allocate.
+
+func allocTable(t *testing.T) *Table {
+	t.Helper()
+	mem := phys.NewDefault()
+	pt, err := New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		ea := arch.EffectiveAddr(0x1000_0000 + i*arch.PageSize)
+		if err := pt.Map(ea, arch.PFN(i+3), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pt
+}
+
+func TestLookupZeroAllocs(t *testing.T) {
+	pt := allocTable(t)
+	ea := arch.EffectiveAddr(0x1000_0000 + 17*arch.PageSize)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := pt.Lookup(ea); !ok {
+			t.Fatal("lookup missed a mapped page")
+		}
+	}); n != 0 {
+		t.Fatalf("Lookup allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestWalkZeroAllocs(t *testing.T) {
+	pt := allocTable(t)
+	ea := arch.EffectiveAddr(0x1000_0000 + 40*arch.PageSize)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, _, ok := pt.Walk(ea); !ok {
+			t.Fatal("walk missed a mapped page")
+		}
+	}); n != 0 {
+		t.Fatalf("Walk allocates %.1f times per op, want 0", n)
+	}
+}

@@ -5,6 +5,14 @@
 // path of §6.1 walks this tree directly "taking three loads in the
 // worst case".
 //
+// The in-simulator representation mirrors the structure it models: a
+// dense 1024-entry PGD array of lazily-allocated PTE pages, each a
+// dense 1024-entry array of software PTEs. Lookup, insert and remove
+// are two array indexings — no hashing, no map, and zero allocation on
+// the lookup path, which is the simulator's single hottest path (every
+// simulated TLB-miss reload walks this tree). The §6 lesson applied to
+// the simulator itself.
+//
 // The tree's pages live in simulated physical memory, and WalkAddrs
 // exposes the physical addresses a walk touches so the kernel's reload
 // handlers can charge those loads through the cache model.
@@ -12,7 +20,6 @@ package pagetable
 
 import (
 	"fmt"
-	"sort"
 
 	"mmutricks/internal/arch"
 	"mmutricks/internal/phys"
@@ -40,19 +47,26 @@ type Entry struct {
 	Inhibited bool
 }
 
+// ptePage is one lazily-allocated PTE page: the frame backing it in
+// simulated physical memory, a live-entry count so empty pages can be
+// freed, and the 1024 software PTEs themselves.
+type ptePage struct {
+	frame   arch.PFN
+	live    int
+	entries [EntriesPerPage]Entry
+}
+
 // Table is one process's page-table tree.
 type Table struct {
 	mem      *phys.Memory
 	pgdFrame arch.PFN
-	// pteFrames maps PGD index -> frame holding that PTE page.
-	pteFrames map[int]arch.PFN
-	// live maps PGD index -> count of present entries in that page,
-	// so empty PTE pages can be freed.
-	live map[int]int
-	// entries holds the actual translations, keyed by effective page
-	// number. (The frames above give the walk its addresses; the map
-	// gives it its content.)
-	entries   map[uint32]Entry
+	// pages is the dense PGD: pages[dirIndex] is the PTE page covering
+	// that 4 MB region, nil until first Map.
+	pages [EntriesPerPage]*ptePage
+	// count is the number of present translations; ptePages the number
+	// of allocated PTE pages.
+	count     int
+	ptePages  int
 	destroyed bool
 }
 
@@ -62,13 +76,7 @@ func New(mem *phys.Memory) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("pagetable: out of memory allocating PGD")
 	}
-	return &Table{
-		mem:       mem,
-		pgdFrame:  pgd,
-		pteFrames: make(map[int]arch.PFN),
-		live:      make(map[int]int),
-		entries:   make(map[uint32]Entry),
-	}, nil
+	return &Table{mem: mem, pgdFrame: pgd}, nil
 }
 
 func dirIndex(ea arch.EffectiveAddr) int { return int(ea >> DirShift) }
@@ -84,44 +92,56 @@ func (t *Table) Map(ea arch.EffectiveAddr, rpn arch.PFN, inhibited bool) error {
 		panic("pagetable: use after Destroy")
 	}
 	di := dirIndex(ea)
-	if _, ok := t.pteFrames[di]; !ok {
+	p := t.pages[di]
+	if p == nil {
 		f, ok := t.mem.AllocFrame()
 		if !ok {
 			return fmt.Errorf("pagetable: out of memory allocating PTE page")
 		}
-		t.pteFrames[di] = f
+		p = &ptePage{frame: f}
+		t.pages[di] = p
+		t.ptePages++
 	}
-	key := ea.PageNumber()
-	if _, present := t.entries[key]; !present {
-		t.live[di]++
+	pi := pteIndex(ea)
+	if !p.entries[pi].Present {
+		p.live++
+		t.count++
 	}
-	t.entries[key] = Entry{Present: true, RPN: rpn, Inhibited: inhibited}
+	p.entries[pi] = Entry{Present: true, RPN: rpn, Inhibited: inhibited}
 	return nil
 }
 
-// Lookup finds the translation for the page containing ea.
+// Lookup finds the translation for the page containing ea. It is two
+// array indexings and performs no allocation.
 func (t *Table) Lookup(ea arch.EffectiveAddr) (Entry, bool) {
-	e, ok := t.entries[ea.PageNumber()]
-	return e, ok
+	p := t.pages[dirIndex(ea)]
+	if p == nil {
+		return Entry{}, false
+	}
+	e := p.entries[pteIndex(ea)]
+	return e, e.Present
 }
 
 // Unmap removes the translation, returning the entry it held. Empty
 // PTE pages are returned to the allocator.
 func (t *Table) Unmap(ea arch.EffectiveAddr) (Entry, bool) {
-	key := ea.PageNumber()
-	e, ok := t.entries[key]
-	if !ok {
+	di := dirIndex(ea)
+	p := t.pages[di]
+	if p == nil {
 		return Entry{}, false
 	}
-	delete(t.entries, key)
-	di := dirIndex(ea)
-	t.live[di]--
-	if t.live[di] == 0 {
-		delete(t.live, di)
-		if f, ok := t.pteFrames[di]; ok {
-			t.mem.FreeFrame(f)
-			delete(t.pteFrames, di)
-		}
+	pi := pteIndex(ea)
+	e := p.entries[pi]
+	if !e.Present {
+		return Entry{}, false
+	}
+	p.entries[pi] = Entry{}
+	p.live--
+	t.count--
+	if p.live == 0 {
+		t.mem.FreeFrame(p.frame)
+		t.pages[di] = nil
+		t.ptePages--
 	}
 	return e, true
 }
@@ -132,29 +152,60 @@ func (t *Table) Unmap(ea arch.EffectiveAddr) (Entry, bool) {
 func (t *Table) WalkAddrs(ea arch.EffectiveAddr) (pgdAddr, pteAddr arch.PhysAddr, ok bool) {
 	di := dirIndex(ea)
 	pgdAddr = t.pgdFrame.Addr() + arch.PhysAddr(di*EntryBytes)
-	f, present := t.pteFrames[di]
-	if !present {
+	p := t.pages[di]
+	if p == nil {
 		return pgdAddr, 0, false
 	}
-	pteAddr = f.Addr() + arch.PhysAddr(pteIndex(ea)*EntryBytes)
+	pteAddr = p.frame.Addr() + arch.PhysAddr(pteIndex(ea)*EntryBytes)
 	return pgdAddr, pteAddr, true
 }
 
+// Walk performs one descent for ea, returning both the entry and the
+// physical addresses the walk touches — WalkAddrs and Lookup fused so
+// the reload handlers pay a single descent. pteAddr is zero when no
+// PTE page covers ea; ok reports a present translation.
+func (t *Table) Walk(ea arch.EffectiveAddr) (e Entry, pgdAddr, pteAddr arch.PhysAddr, ok bool) {
+	di := dirIndex(ea)
+	pgdAddr = t.pgdFrame.Addr() + arch.PhysAddr(di*EntryBytes)
+	p := t.pages[di]
+	if p == nil {
+		return Entry{}, pgdAddr, 0, false
+	}
+	pi := pteIndex(ea)
+	e = p.entries[pi]
+	pteAddr = p.frame.Addr() + arch.PhysAddr(pi*EntryBytes)
+	return e, pgdAddr, pteAddr, e.Present
+}
+
 // Count returns the number of present translations.
-func (t *Table) Count() int { return len(t.entries) }
+func (t *Table) Count() int { return t.count }
 
 // PTEPages returns how many PTE pages are allocated.
-func (t *Table) PTEPages() int { return len(t.pteFrames) }
+func (t *Table) PTEPages() int { return t.ptePages }
 
 // Range calls fn for every present translation with page number inside
 // [start, end) (end exclusive, page-aligned addresses). fn returning
-// false stops the walk early.
+// false stops the walk early. The walk is in ascending page order and
+// skips unallocated 4 MB regions wholesale.
 func (t *Table) Range(start, end arch.EffectiveAddr, fn func(ea arch.EffectiveAddr, e Entry) bool) {
-	// Iterate by page to stay deterministic (map order is random).
-	for pn := start.PageNumber(); pn < end.PageNumber(); pn++ {
-		if e, ok := t.entries[pn]; ok {
-			if !fn(arch.EffectiveAddr(pn)<<arch.PageShift, e) {
-				return
+	const dirPages = EntriesPerPage // page numbers per PGD entry
+	endPN := end.PageNumber()
+	for pn := start.PageNumber(); pn < endPN; {
+		p := t.pages[pn>>(DirShift-arch.PageShift)]
+		limit := (pn | (dirPages - 1)) + 1 // first page number of the next region
+		if limit > endPN {
+			limit = endPN
+		}
+		if p == nil {
+			pn = limit
+			continue
+		}
+		for ; pn < limit; pn++ {
+			e := p.entries[pn&(dirPages-1)]
+			if e.Present {
+				if !fn(arch.EffectiveAddr(pn)<<arch.PageShift, e) {
+					return
+				}
 			}
 		}
 	}
@@ -169,23 +220,20 @@ func (t *Table) CountRange(start, end arch.EffectiveAddr) int {
 
 // Destroy frees every frame the tree owns (PGD and PTE pages). The
 // mapped data frames are the caller's to free; Destroy only tears down
-// the tree itself.
+// the tree itself. Frames are freed in directory order, which the dense
+// PGD yields naturally, keeping allocator state deterministic.
 func (t *Table) Destroy() {
 	if t.destroyed {
 		return
 	}
 	t.destroyed = true
-	// Free in sorted directory order for deterministic allocator state.
-	dis := make([]int, 0, len(t.pteFrames))
-	for di := range t.pteFrames {
-		dis = append(dis, di)
+	for di := range t.pages {
+		if p := t.pages[di]; p != nil {
+			t.mem.FreeFrame(p.frame)
+			t.pages[di] = nil
+		}
 	}
-	sort.Ints(dis)
-	for _, di := range dis {
-		t.mem.FreeFrame(t.pteFrames[di])
-		delete(t.pteFrames, di)
-	}
+	t.ptePages = 0
+	t.count = 0
 	t.mem.FreeFrame(t.pgdFrame)
-	t.entries = nil
-	t.live = nil
 }

@@ -1,0 +1,49 @@
+package ppc
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+)
+
+// The TLB-hit translation path runs once per simulated memory
+// reference; keeping it allocation-free is what makes the harness
+// parallelism pay.
+
+func TestTLBLookupZeroAllocs(t *testing.T) {
+	tlb := NewTLB(128, 2)
+	vpn := arch.VPNOf(0x42, 0x1234_5000)
+	tlb.Insert(vpn, 0x77, false, false)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, ok := tlb.Lookup(vpn); !ok {
+			t.Fatal("lookup missed an inserted entry")
+		}
+	}); n != 0 {
+		t.Fatalf("TLB.Lookup allocates %.1f times per op, want 0", n)
+	}
+}
+
+// nopBus satisfies Bus without touching memory, so Translate's own
+// allocation behaviour is isolated.
+type nopBus struct{}
+
+func (nopBus) MemAccess(arch.PhysAddr, cache.Class, bool, bool) {}
+
+func TestTranslateTLBHitZeroAllocs(t *testing.T) {
+	model := clock.PPC604At185()
+	htab := NewHTAB(arch.DefaultHTABGroups, 0x200000)
+	m := NewMMU(model, htab, clock.NewLedger(model.MHz), nopBus{}, &hwmon.Counters{})
+	ea := arch.EffectiveAddr(0x1034_5678)
+	vpn := m.VPNFor(ea)
+	m.TLBFor(false).Insert(vpn, 0x99, false, false)
+	if n := testing.AllocsPerRun(100, func() {
+		if r := m.Translate(ea, false); r.Fault != FaultNone {
+			t.Fatalf("unexpected fault %v", r.Fault)
+		}
+	}); n != 0 {
+		t.Fatalf("Translate (TLB hit) allocates %.1f times per op, want 0", n)
+	}
+}

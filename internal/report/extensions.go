@@ -36,8 +36,10 @@ func runProfile(s Scale) *Table {
 		kbuild.Run(k, cfg)
 		return k.Profile()
 	}
-	unopt := run(kernel.Unoptimized())
-	opt := run(kernel.Optimized())
+	cfgs := []kernel.Config{kernel.Unoptimized(), kernel.Optimized()}
+	var res [2]*kernel.Profiler
+	RowSet(2, func(i int) { res[i] = run(cfgs[i]) })
+	unopt, opt := res[0], res[1]
 
 	var rows [][]string
 	for _, path := range kernel.Paths {
@@ -131,8 +133,17 @@ func sec7LatencyProfile(onDemand bool, rounds int) (mean, p99, worst float64, sc
 
 func runSec7OnDemand(s Scale) *Table {
 	rounds := s.pick(150, 600)
-	im, i99, iw, _ := sec7LatencyProfile(false, rounds)
-	om, o99, ow, scans := sec7LatencyProfile(true, rounds)
+	type prof struct {
+		mean, p99, worst float64
+		scans            uint64
+	}
+	var res [2]prof
+	RowSet(2, func(i int) {
+		m, p, w, sc := sec7LatencyProfile(i == 1, rounds)
+		res[i] = prof{m, p, w, sc}
+	})
+	im, i99, iw := res[0].mean, res[0].p99, res[0].worst
+	om, o99, ow, scans := res[1].mean, res[1].p99, res[1].worst, res[1].scans
 	return &Table{
 		ID: "sec7-ondemand", Title: "per-operation latency: idle-task reclaim vs synchronous on-demand sweeps (604/185)",
 		Headers: []string{"metric", "idle reclaim (shipped)", "on-demand sweep (rejected)", ""},
@@ -172,9 +183,6 @@ func runSec10(s Scale) *Table {
 		k := kernel.New(machine.New(clock.PPC604At185()), kcfg)
 		return kbuild.Run(k, cfg)
 	}
-	base := kb(false)
-	lock := kb(true)
-
 	// §10.2 on a switch-heavy loop whose tasks storm the cache, so the
 	// incoming task's state is always cold at the switch.
 	sw := func(preload bool) float64 {
@@ -203,8 +211,18 @@ func runSec10(s Scale) *Table {
 		}
 		return k.M.Led.Micros(inSwitch) / float64(2*iters)
 	}
-	plain := sw(false)
-	pre := sw(true)
+	// Both §10.1 runs and both §10.2 runs are mutually independent.
+	var kbRes [2]kbuild.Result
+	var swRes [2]float64
+	RowSet(4, func(i int) {
+		if i < 2 {
+			kbRes[i] = kb(i == 1)
+		} else {
+			swRes[i-2] = sw(i == 3)
+		}
+	})
+	base, lock := kbRes[0], kbRes[1]
+	plain, pre := swRes[0], swRes[1]
 
 	return &Table{
 		ID: "sec10-futures", Title: "the §10 proposals, measured (604/185)",

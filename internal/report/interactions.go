@@ -25,7 +25,7 @@ func runInteractions(s Scale) *Table {
 		r := kbuild.Run(k, bcfg)
 		return r.Cycles - r.IdleCycles
 	}
-	res := ablate.Run(metric, ablate.Knobs())
+	res := ablate.RunWith(metric, ablate.Knobs(), RowSet)
 
 	rows := [][]string{
 		{"combined gain (all optimizations)", pct(res.CombinedGain), "", ""},

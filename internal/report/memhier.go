@@ -17,34 +17,45 @@ func runMemHier(s Scale) *Table {
 	refs := s.pick(3000, 12000)
 	sizes := []int{8 << 10, 16 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20}
 
-	latRow := func(model clock.CPUModel) []string {
-		row := []string{"load latency, " + model.Name}
-		for _, size := range sizes {
-			suite := lmbench.New(kernel.New(machine.New(model), kernel.Optimized()))
-			c := suite.MemReadLatency(size, refs)
-			row = append(row, fmt.Sprintf("%.1fc", c))
-		}
-		return row
-	}
-
-	headers := []string{"metric"}
-	for _, size := range sizes {
-		headers = append(headers, fmt.Sprintf("%dK", size>>10))
-	}
-	rows := [][]string{
-		latRow(clock.PPC603At180()),
-		latRow(clock.PPC604At185()),
-	}
-
 	// The §9 bzero comparison at the 604.
 	bw := func(mode lmbench.BzeroMode) float64 {
 		suite := lmbench.New(kernel.New(machine.New(clock.PPC604At185()), kernel.Optimized()))
 		return suite.BzeroBandwidth(64<<10, s.pick(4, 16), mode).MBps
 	}
-	stores := bw(lmbench.BzeroStores)
-	dcbz := bw(lmbench.BzeroDCBZ)
-	suite := lmbench.New(kernel.New(machine.New(clock.PPC604At185()), kernel.Optimized()))
-	bcopy := suite.BcopyBandwidth(64<<10, s.pick(4, 16)).MBps
+
+	// Every latency cell and each bandwidth run is its own fresh kernel;
+	// flatten them all for the row-level pool.
+	models := []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()}
+	latCells := make([]string, len(models)*len(sizes))
+	var bws [3]float64
+	RowSet(len(latCells)+3, func(idx int) {
+		switch {
+		case idx < len(latCells):
+			model := models[idx/len(sizes)]
+			size := sizes[idx%len(sizes)]
+			suite := lmbench.New(kernel.New(machine.New(model), kernel.Optimized()))
+			latCells[idx] = fmt.Sprintf("%.1fc", suite.MemReadLatency(size, refs))
+		case idx == len(latCells):
+			bws[0] = bw(lmbench.BzeroStores)
+		case idx == len(latCells)+1:
+			bws[1] = bw(lmbench.BzeroDCBZ)
+		default:
+			suite := lmbench.New(kernel.New(machine.New(clock.PPC604At185()), kernel.Optimized()))
+			bws[2] = suite.BcopyBandwidth(64<<10, s.pick(4, 16)).MBps
+		}
+	})
+	stores, dcbz, bcopy := bws[0], bws[1], bws[2]
+
+	headers := []string{"metric"}
+	for _, size := range sizes {
+		headers = append(headers, fmt.Sprintf("%dK", size>>10))
+	}
+	var rows [][]string
+	for mi, model := range models {
+		row := []string{"load latency, " + model.Name}
+		row = append(row, latCells[mi*len(sizes):(mi+1)*len(sizes)]...)
+		rows = append(rows, row)
+	}
 
 	rows = append(rows,
 		[]string{"bzero 64K, stores (shipped)", mbps(stores)},

@@ -1,0 +1,8 @@
+//go:build race
+
+package report
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// use it to skip full-registry runs that are impractically slow under
+// instrumentation.
+const raceEnabled = true

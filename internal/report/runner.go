@@ -1,0 +1,180 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mmutricks/internal/clock"
+)
+
+// The harness parallelism is a single token pool shared by the
+// experiment-level worker pool (RunAll) and the row-level helper
+// (RowSet): each running experiment holds one token, and RowSet
+// borrows whatever tokens are idle for its rows, running the rest
+// inline. Total concurrency therefore never exceeds the configured -j,
+// whichever level the parallelism comes from.
+var (
+	poolMu sync.Mutex
+	par    = 1
+	tokens chan struct{}
+)
+
+func init() { SetParallelism(runtime.GOMAXPROCS(0)) }
+
+// SetParallelism sizes the harness worker pool. j < 1 is treated as 1.
+// It must not be called while experiments are running.
+func SetParallelism(j int) {
+	if j < 1 {
+		j = 1
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	par = j
+	tokens = make(chan struct{}, j)
+	for i := 0; i < j; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Parallelism returns the configured worker count.
+func Parallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return par
+}
+
+func pool() chan struct{} {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return tokens
+}
+
+// RowSet runs fn(0..n-1) — the independent machine-configuration rows
+// of one experiment — concurrently on whatever harness tokens are idle,
+// running the remainder inline on the calling goroutine. Callers gather
+// results by index, so output is deterministic at any parallelism. A
+// panic in any row is re-raised on the calling goroutine (annotated
+// with the row's stack), so RunAll's per-experiment isolation still
+// contains it.
+func RowSet(n int, fn func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	t := pool()
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[rowPanic]
+	for i := 0; i < n; i++ {
+		select {
+		case <-t:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { t <- struct{}{} }()
+				defer func() {
+					if p := recover(); p != nil {
+						panicked.CompareAndSwap(nil, &rowPanic{val: p, stack: debug.Stack()})
+					}
+				}()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("%v\nrow goroutine stack:\n%s", p.val, p.stack))
+	}
+}
+
+type rowPanic struct {
+	val   any
+	stack []byte
+}
+
+// RunResult is the outcome of one experiment under RunAll.
+type RunResult struct {
+	Experiment Experiment
+	// Table is the rendered result; nil when the experiment panicked.
+	Table *Table
+	// Err carries a panic (with stack) the runner contained.
+	Err error
+	// Wall is host wall-clock time spent inside Run.
+	Wall time.Duration
+	// SimCycles is the simulated work the experiment charged, read from
+	// the process-wide cycle meter. Attribution is only exact when
+	// experiments run sequentially (parallelism 1); under a parallel
+	// run concurrent experiments bleed into each other's readings.
+	SimCycles uint64
+}
+
+// RunAll executes every registered experiment on a pool of
+// `parallelism` workers. Results are gathered by index and returned in
+// registry (All) order, so rendering them in sequence yields output
+// byte-identical to a sequential run. A panicking experiment is
+// contained: its RunResult carries the error and the remaining
+// experiments still run.
+func RunAll(scale Scale, parallelism int) []RunResult {
+	SetParallelism(parallelism)
+	return runExperiments(All(), scale, parallelism)
+}
+
+// runExperiments is RunAll over an explicit experiment list (tests use
+// it to drive small subsets). SetParallelism must already reflect
+// `parallelism`.
+func runExperiments(exps []Experiment, scale Scale, parallelism int) []RunResult {
+	out := make([]RunResult, len(exps))
+	workers := parallelism
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(exps) {
+					return
+				}
+				out[i] = runOne(exps[i], scale)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single experiment while holding one harness token,
+// containing any panic.
+func runOne(e Experiment, scale Scale) (r RunResult) {
+	r.Experiment = e
+	t := pool()
+	<-t
+	defer func() { t <- struct{}{} }()
+	start := time.Now()
+	cyc := clock.MeterNow()
+	defer func() {
+		r.Wall = time.Since(start)
+		r.SimCycles = clock.MeterNow() - cyc
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
+			r.Table = nil
+		}
+	}()
+	r.Table = e.Run(scale)
+	return r
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func resetPool(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(runtime.GOMAXPROCS(0)) })
+}
+
+// TestRunAllDeterministicAcrossParallelism is the harness's core
+// contract: the full registry rendered from a sequential run and from
+// an 8-worker run must be byte-identical.
+func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry twice is slow; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("full registry twice is impractically slow under the race detector (TestRunnerSmallConcurrent covers racing)")
+	}
+	resetPool(t)
+	render := func(rs []RunResult) string {
+		var b strings.Builder
+		for _, r := range rs {
+			if r.Err != nil {
+				t.Fatalf("experiment %s failed: %v", r.Experiment.ID, r.Err)
+			}
+			b.WriteString(r.Table.Render())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	seq := render(RunAll(Quick, 1))
+	par := render(RunAll(Quick, 8))
+	if seq != par {
+		t.Fatalf("-j 1 and -j 8 output differ:\n-j1 %d bytes, -j8 %d bytes", len(seq), len(par))
+	}
+}
+
+// TestRunnerSmallConcurrent exercises the worker pool and RowSet with
+// synthetic experiments; it is cheap enough to run under -race, where
+// it is the runner's data-race probe.
+func TestRunnerSmallConcurrent(t *testing.T) {
+	resetPool(t)
+	const n = 12
+	exps := make([]Experiment, n)
+	for i := range exps {
+		i := i
+		exps[i] = Experiment{
+			ID: fmt.Sprintf("synthetic-%02d", i),
+			Run: func(Scale) *Table {
+				cells := make([]string, 8)
+				RowSet(len(cells), func(r int) {
+					cells[r] = fmt.Sprintf("%d*%d=%d", i, r, i*r)
+				})
+				return &Table{ID: fmt.Sprintf("synthetic-%02d", i), Rows: [][]string{cells}}
+			},
+		}
+	}
+	SetParallelism(4)
+	res := runExperiments(exps, Quick, 4)
+	if len(res) != n {
+		t.Fatalf("got %d results, want %d", len(res), n)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("experiment %d: %v", i, r.Err)
+		}
+		if r.Experiment.ID != exps[i].ID || r.Table.ID != exps[i].ID {
+			t.Fatalf("result %d out of order: got %s/%s", i, r.Experiment.ID, r.Table.ID)
+		}
+		for c := 0; c < 8; c++ {
+			want := fmt.Sprintf("%d*%d=%d", i, c, i*c)
+			if r.Table.Rows[0][c] != want {
+				t.Fatalf("result %d cell %d = %q, want %q", i, c, r.Table.Rows[0][c], want)
+			}
+		}
+	}
+}
+
+// TestRunnerPanicIsolation checks a panicking experiment surfaces as an
+// Err without taking down its siblings — including a panic raised
+// inside a RowSet row goroutine.
+func TestRunnerPanicIsolation(t *testing.T) {
+	resetPool(t)
+	exps := []Experiment{
+		{ID: "boom-direct", Run: func(Scale) *Table { panic("kaboom-direct") }},
+		{ID: "fine", Run: func(Scale) *Table { return &Table{ID: "fine"} }},
+		{ID: "boom-rowset", Run: func(Scale) *Table {
+			RowSet(4, func(i int) {
+				if i == 2 {
+					panic("kaboom-row")
+				}
+			})
+			return &Table{ID: "boom-rowset"}
+		}},
+	}
+	SetParallelism(3)
+	res := runExperiments(exps, Quick, 3)
+	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "kaboom-direct") {
+		t.Errorf("boom-direct: want contained panic, got %v", res[0].Err)
+	}
+	if res[0].Table != nil {
+		t.Errorf("boom-direct: want nil table")
+	}
+	if res[1].Err != nil || res[1].Table == nil || res[1].Table.ID != "fine" {
+		t.Errorf("fine experiment damaged by sibling panic: %+v", res[1])
+	}
+	if res[2].Err == nil || !strings.Contains(res[2].Err.Error(), "kaboom-row") {
+		t.Errorf("boom-rowset: want contained row panic, got %v", res[2].Err)
+	}
+}
+
+// TestRowSetInlineWhenExhausted verifies RowSet falls back to inline
+// execution (and still completes every index) when the pool has no
+// spare tokens.
+func TestRowSetInlineWhenExhausted(t *testing.T) {
+	resetPool(t)
+	SetParallelism(1)
+	tok := pool()
+	<-tok // simulate the experiment itself holding the only token
+	defer func() { tok <- struct{}{} }()
+	done := make([]bool, 16)
+	RowSet(len(done), func(i int) { done[i] = true })
+	for i, d := range done {
+		if !d {
+			t.Fatalf("row %d never ran", i)
+		}
+	}
+}

@@ -44,13 +44,19 @@ func runSec51(s Scale) *Table {
 	bat := base
 	bat.KernelBAT = true
 
-	kb := kernel.New(machine.New(clock.PPC604At185()), base)
-	rb := kbuild.Run(kb, cfg)
-	slotsBase := kb.M.MMU.TLB.KernelEntries()
-
-	kbat := kernel.New(machine.New(clock.PPC604At185()), bat)
-	rbat := kbuild.Run(kbat, cfg)
-	slotsBAT := kbat.M.MMU.TLB.KernelEntries()
+	type s51 struct {
+		r     kbuild.Result
+		slots int
+	}
+	cfgs := []kernel.Config{base, bat}
+	var res [2]s51
+	RowSet(2, func(i int) {
+		k := kernel.New(machine.New(clock.PPC604At185()), cfgs[i])
+		r := kbuild.Run(k, cfg)
+		res[i] = s51{r, k.M.MMU.TLB.KernelEntries()}
+	})
+	rb, slotsBase := res[0].r, res[0].slots
+	rbat, slotsBAT := res[1].r, res[1].slots
 
 	tlbRed := 1 - float64(rbat.Counters.TLBMisses)/float64(rb.Counters.TLBMisses)
 	hashRed := 1 - float64(rbat.Counters.HTABMisses)/float64(rb.Counters.HTABMisses)
@@ -142,11 +148,12 @@ func runSec52(s Scale) *Table {
 		{"tuned scatter, kernel PTEs in table", vsid.DefaultScatter, true},
 		{"tuned scatter, kernel via BAT", vsid.DefaultScatter, false},
 	}
-	var rows [][]string
-	for _, c := range cases {
+	rows := make([][]string, len(cases))
+	RowSet(len(cases), func(i int) {
+		c := cases[i]
 		ret, occ := sec52Utilization(c.scatter, c.kernel, procs, pages)
-		rows = append(rows, []string{c.name, scatterName(c.scatter), pct(ret), pct(occ)})
-	}
+		rows[i] = []string{c.name, scatterName(c.scatter), pct(ret), pct(occ)}
+	})
 	return &Table{
 		ID: "sec5.2-htab-util", Title: "hash-table utilization under PTE pressure",
 		Headers: []string{"configuration", "scatter", "PTEs retained", "table occupancy"},
@@ -179,8 +186,14 @@ func runSec61(s Scale) *Table {
 		l := suite.PipeLatency(s.pick(30, 200))
 		return c.Micros, l.Micros
 	}
-	bc, bl := run(base)
-	fc, fl := run(fast)
+	cfgs := []kernel.Config{base, fast}
+	var res [2][2]float64
+	RowSet(2, func(i int) {
+		c, l := run(cfgs[i])
+		res[i] = [2]float64{c, l}
+	})
+	bc, bl := res[0][0], res[0][1]
+	fc, fl := res[1][0], res[1][1]
 	return &Table{
 		ID: "sec6.1-fastreload", Title: "hand-optimized miss handlers vs the original C handlers (603/180)",
 		Headers: []string{"metric", "C handlers", "fast handlers", "change"},
@@ -212,12 +225,19 @@ func runSec62(s Scale) *Table {
 	withHtab.UseHTAB = true
 	noHtab := kernel.Optimized()
 
-	k1 := kernel.New(machine.New(clock.PPC603At180()), withHtab)
-	r1 := kbuild.Run(k1, cfg)
-	k2 := kernel.New(machine.New(clock.PPC603At180()), noHtab)
-	r2 := kbuild.Run(k2, cfg)
-	k3 := kernel.New(machine.New(clock.PPC604At185()), kernel.Optimized())
-	r3 := kbuild.Run(k3, cfg)
+	runs := []struct {
+		model clock.CPUModel
+		kcfg  kernel.Config
+	}{
+		{clock.PPC603At180(), withHtab},
+		{clock.PPC603At180(), noHtab},
+		{clock.PPC604At185(), kernel.Optimized()},
+	}
+	var res [3]kbuild.Result
+	RowSet(len(runs), func(i int) {
+		res[i] = kbuild.Run(kernel.New(machine.New(runs[i].model), runs[i].kcfg), cfg)
+	})
+	r1, r2, r3 := res[0], res[1], res[2]
 
 	return &Table{
 		ID: "sec6.2-nohtab", Title: "kernel compile: 603 with/without the hash table vs 604",
@@ -258,8 +278,14 @@ func runSec7Lazy(s Scale) *Table {
 		b := suite.PipeBandwidth(s.pick(1<<20, 4<<20))
 		return m.Micros, c.Micros, b.MBps
 	}
-	em, ec, eb := run(eager)
-	lm, lc, lb := run(lazy)
+	cfgs := []kernel.Config{eager, lazy}
+	var res [2][3]float64
+	RowSet(2, func(i int) {
+		m, c, b := run(cfgs[i])
+		res[i] = [3]float64{m, c, b}
+	})
+	em, ec, eb := res[0][0], res[0][1], res[0][2]
+	lm, lc, lb := res[1][0], res[1][1], res[1][2]
 	return &Table{
 		ID: "sec7-lazy", Title: "lazy VSID flushing with the 20-page range cutoff (603/133)",
 		Headers: []string{"metric", "eager flushing", "lazy + cutoff", "change"},
@@ -324,8 +350,19 @@ func runSec7Reclaim(s Scale) *Table {
 			k.M.MMU.HTAB.LiveOccupancy(k.ZombieVSID),
 			d.HTABHitRate(), d.ZombiesReclaimed
 	}
-	evOff, occOff, liveOff, hitOff, _ := run(false)
-	evOn, occOn, liveOn, hitOn, zrOn := run(true)
+	type s7 struct {
+		ev        float64
+		occ, live int
+		hit       float64
+		zr        uint64
+	}
+	var res [2]s7
+	RowSet(2, func(i int) {
+		ev, occ, live, hit, zr := run(i == 1)
+		res[i] = s7{ev, occ, live, hit, zr}
+	})
+	evOff, occOff, liveOff, hitOff := res[0].ev, res[0].occ, res[0].live, res[0].hit
+	evOn, occOn, liveOn, hitOn, zrOn := res[1].ev, res[1].occ, res[1].live, res[1].hit, res[1].zr
 	return &Table{
 		ID: "sec7-idle-reclaim", Title: "idle-task reclamation of zombie hash-table PTEs (604/185, steady state)",
 		Headers: []string{"metric", "no reclaim", "idle reclaim", ""},
@@ -377,8 +414,17 @@ func runSec8(s Scale) *Table {
 		pollution := st.PollutionBy(cache.ClassHashTable) + st.PollutionBy(cache.ClassPageTable)
 		return st.Misses[cache.ClassUser], pollution, k.M.Led.Seconds(k.M.Led.Now() - start)
 	}
-	mCached, polCached, tCached := run(true)
-	mUncached, polUncached, tUncached := run(false)
+	type s8 struct {
+		misses, pol uint64
+		secs        float64
+	}
+	var res [2]s8
+	RowSet(2, func(i int) {
+		m, p, t := run(i == 0)
+		res[i] = s8{m, p, t}
+	})
+	mCached, polCached, tCached := res[0].misses, res[0].pol, res[0].secs
+	mUncached, polUncached, tUncached := res[1].misses, res[1].pol, res[1].secs
 	return &Table{
 		ID: "sec8-ptcache", Title: "cache pollution from caching page-table walks (604/185)",
 		Headers: []string{"metric", "cached walks", "uncached walks", "change"},
@@ -417,10 +463,13 @@ func runSec9(s Scale) *Table {
 		k := kernel.New(machine.New(clock.PPC604At185()), kcfg)
 		return kbuild.Run(k, cfg)
 	}
-	off := run(kernel.IdleClearOff)
-	cached := run(kernel.IdleClearCached)
-	unc := run(kernel.IdleClearUncached)
-	list := run(kernel.IdleClearUncachedList)
+	modes := []kernel.IdleClearMode{
+		kernel.IdleClearOff, kernel.IdleClearCached,
+		kernel.IdleClearUncached, kernel.IdleClearUncachedList,
+	}
+	var res [4]kbuild.Result
+	RowSet(len(modes), func(i int) { res[i] = run(modes[i]) })
+	off, cached, unc, list := res[0], res[1], res[2], res[3]
 	row := func(name string, r kbuild.Result) []string {
 		return []string{
 			name,

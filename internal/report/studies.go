@@ -42,8 +42,17 @@ func runSwapFlush(s Scale) *Table {
 		perPage = float64(k.M.Led.Now()-start) / float64(passes*pages)
 		return perPage, d.SwapOuts, d.HTABFlushSearches
 	}
-	htabPP, htabOuts, htabSearches := run(true)
-	noPP, noOuts, noSearches := run(false)
+	type sfRes struct {
+		perPage        float64
+		outs, searches uint64
+	}
+	var rs [2]sfRes
+	RowSet(2, func(i int) {
+		pp, o, se := run(i == 0)
+		rs[i] = sfRes{pp, o, se}
+	})
+	htabPP, htabOuts, htabSearches := rs[0].perPage, rs[0].outs, rs[0].searches
+	noPP, noOuts, noSearches := rs[1].perPage, rs[1].outs, rs[1].searches
 	return &Table{
 		ID: "swap-flush", Title: "thrashing a 32 MB 603: page-out flush cost with and without the hash table",
 		Headers: []string{"metric", "hash-table kernel", "no-htab kernel (§6.2)", ""},
@@ -113,14 +122,25 @@ func runTLBReach(s Scale) *Table {
 	for _, p := range sizes {
 		headers = append(headers, fmt.Sprintf("%d pg", p))
 	}
+	// Every (model, pattern, size) cell is an independent simulation;
+	// flatten them for the row-level pool and reassemble by index.
+	models := []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()}
+	type cell struct{ miss, cyc float64 }
+	cells := make([]cell, len(models)*len(genNames)*len(sizes))
+	RowSet(len(cells), func(idx int) {
+		mi := idx / (len(genNames) * len(sizes))
+		gi := idx / len(sizes) % len(genNames)
+		pages := sizes[idx%len(sizes)]
+		miss, cyc := run(models[mi], gens(pages)[gi], pages)
+		cells[idx] = cell{miss, cyc}
+	})
 	var rows [][]string
-	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
-		for gi := 0; gi < 4; gi++ {
-			row := []string{fmt.Sprintf("%s %s", model.Name, genNames[gi])}
-			for _, pages := range sizes {
-				g := gens(pages)[gi]
-				miss, cyc := run(model, g, pages)
-				row = append(row, fmt.Sprintf("%.1f%% (%.0fc)", 100*miss, cyc))
+	for mi := range models {
+		for gi := range genNames {
+			row := []string{fmt.Sprintf("%s %s", models[mi].Name, genNames[gi])}
+			for si := range sizes {
+				c := cells[(mi*len(genNames)+gi)*len(sizes)+si]
+				row = append(row, fmt.Sprintf("%.1f%% (%.0fc)", 100*c.miss, c.cyc))
 			}
 			rows = append(rows, row)
 		}
@@ -180,22 +200,19 @@ func runHTABSize(s Scale) *Table {
 			groups * arch.PTEGSize * arch.PTEBytes / 1024,
 			k.M.Led.Seconds(k.M.Led.Now() - start)
 	}
-	var rows [][]string
-	var baseline float64
-	for _, groups := range []int{256, 512, 1024, 2048, 4096} {
+	sweep := []int{256, 512, 1024, 2048, 4096}
+	rows := make([][]string, len(sweep))
+	RowSet(len(sweep), func(i int) {
+		groups := sweep[i]
 		hit, evict, occ, ramKB, secs := run(groups)
-		if groups == 2048 {
-			baseline = secs
-		}
 		label := fmt.Sprintf("%d PTEs (%d KB)", groups*arch.PTEGSize, ramKB)
 		if groups == 2048 {
 			label += " [paper's]"
 		}
-		rows = append(rows, []string{
+		rows[i] = []string{
 			label, pct(hit), pct(evict), pct(occ), fmt.Sprintf("%.4f", secs),
-		})
-	}
-	_ = baseline
+		}
+	})
 	return &Table{
 		ID: "htab-size", Title: "hash-table size sweep under steady context churn (604/185)",
 		Headers: []string{"table size", "hash hit rate", "evict ratio", "occupancy", "workload (sim s)"},

@@ -100,9 +100,9 @@ func runTable1(s Scale) *Table {
 		{"604 200MHz", clock.PPC604At200(), base},
 	}
 	res := make([]lmCol, len(cols))
-	for i, c := range cols {
-		res[i] = runLmCol(c.model, c.cfg, s, 0)
-	}
+	RowSet(len(cols), func(i int) {
+		res[i] = runLmCol(cols[i].model, cols[i].cfg, s, 0)
+	})
 	headers := []string{"benchmark"}
 	for _, c := range cols {
 		headers = append(headers, c.name)
@@ -162,9 +162,9 @@ func runTable2(s Scale) *Table {
 		{"604 185MHz (tune)", clock.PPC604At185(), tuned},
 	}
 	res := make([]lmCol, len(cols))
-	for i, c := range cols {
-		res[i] = runLmCol(c.model, c.cfg, s, mmapPagesTable2)
-	}
+	RowSet(len(cols), func(i int) {
+		res[i] = runLmCol(cols[i].model, cols[i].cfg, s, mmapPagesTable2)
+	})
 	headers := []string{"benchmark"}
 	for _, c := range cols {
 		headers = append(headers, c.name)

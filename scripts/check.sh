@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repo's tier-1 gate: build, vet, formatting, and the
+# full test suite under the race detector. CI and `make check` both run
+# exactly this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== gofmt -l .'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo 'check: all gates passed'

@@ -1,0 +1,79 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis API, carrying exactly the surface the
+// mmulint analyzers need. The container this repo builds in has no
+// network and no module cache, so x/tools cannot be vendored; the types
+// here mirror its shapes (Analyzer, Pass, Diagnostic) closely enough
+// that the analyzers could be ported to the real framework by swapping
+// the import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is the one-paragraph description shown by `mmulint -list`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass holds everything an analyzer may inspect about one package, plus
+// the module-wide indexes the drivers precompute.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Module is the module-wide function index: it resolves a
+	// types.Func (from any package type-checked this run, not just the
+	// one under analysis) to its declaration so analyzers can read
+	// annotations and bodies across package boundaries.
+	Module ModuleIndex
+
+	// report receives diagnostics.
+	report func(Diagnostic)
+}
+
+// ModuleIndex resolves function objects to syntax across every module
+// package loaded in this run.
+type ModuleIndex interface {
+	// FuncDecl returns the declaration of fn, or nil when fn was not
+	// declared in a loaded module package (stdlib, interface methods).
+	FuncDecl(fn *types.Func) *ast.FuncDecl
+	// InterfaceMethodDoc returns the doc comment group of fn when fn is
+	// an interface method declared in a loaded module package.
+	InterfaceMethodDoc(fn *types.Func) *ast.CommentGroup
+	// InterfaceMethods enumerates every interface method declared in
+	// the loaded module packages with its doc comment.
+	InterfaceMethods() map[*types.Func]*ast.CommentGroup
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewPass builds a Pass; drivers (mmulint, analysistest) use it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, mod ModuleIndex, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, Module: mod, report: report}
+}

@@ -1,0 +1,141 @@
+// Package annotation parses the //mmutricks:* directive grammar the
+// mmulint analyzers enforce. The grammar (also documented in DESIGN.md):
+//
+//	//mmutricks:noalloc
+//	    On a function or interface-method declaration: the function is
+//	    part of a statically-verified allocation-free hot path. The
+//	    noalloc analyzer checks its body and requires every static
+//	    callee inside the module to carry the same annotation. On an
+//	    interface method it is a contract: every module implementation
+//	    must be annotated (and is therefore checked).
+//
+//	//mmutricks:free <reason>
+//	    On a function declaration: the function deliberately performs
+//	    modeled-memory work without charging the cycle ledger — the
+//	    cost is returned to (or already paid by) the caller. Waives the
+//	    cyclecost analyzer. The reason is mandatory.
+//
+//	//mmutricks:nocheck <reason>
+//	    On a test or experiment function: the function mutates kernel
+//	    translation state but intentionally skips CheckConsistency.
+//	    Waives the invariantcheck analyzer. The reason is mandatory.
+//
+//	//mmutricks:noalloc-ok <reason>  (trailing, same line)
+//	    Statement-level waiver inside a noalloc function for a
+//	    construct the analyzer would flag (e.g. a cold panic path).
+//	    The reason is mandatory.
+//
+// Directives are comment directives in the gofmt sense (no space after
+// //) and must appear in the doc comment block of the declaration they
+// annotate, except noalloc-ok which trails the waived line.
+package annotation
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Set is the parsed annotations of one declaration.
+type Set struct {
+	Noalloc bool
+	// Free is set when //mmutricks:free is present; FreeReason carries
+	// its justification (empty = malformed, analyzers reject it).
+	Free       bool
+	FreeReason string
+	// Nocheck/NocheckReason mirror Free for //mmutricks:nocheck.
+	Nocheck       bool
+	NocheckReason string
+	// Malformed collects directives that parsed badly (unknown verb or
+	// missing mandatory reason) so analyzers can report them instead of
+	// silently honouring or ignoring them.
+	Malformed []string
+}
+
+const prefix = "//mmutricks:"
+
+// ParseDoc extracts the annotation set from a declaration doc comment.
+func ParseDoc(doc *ast.CommentGroup) Set {
+	var s Set
+	if doc == nil {
+		return s
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, prefix)
+		if !ok {
+			continue
+		}
+		verb, rest, _ := strings.Cut(text, " ")
+		rest = strings.TrimSpace(rest)
+		switch verb {
+		case "noalloc":
+			if rest != "" {
+				s.Malformed = append(s.Malformed, c.Text+" (noalloc takes no argument)")
+				continue
+			}
+			s.Noalloc = true
+		case "free":
+			if rest == "" {
+				s.Malformed = append(s.Malformed, c.Text+" (free requires a reason)")
+				continue
+			}
+			s.Free, s.FreeReason = true, rest
+		case "nocheck":
+			if rest == "" {
+				s.Malformed = append(s.Malformed, c.Text+" (nocheck requires a reason)")
+				continue
+			}
+			s.Nocheck, s.NocheckReason = true, rest
+		case "noalloc-ok":
+			s.Malformed = append(s.Malformed, c.Text+" (noalloc-ok is a line waiver, not a declaration annotation)")
+		default:
+			s.Malformed = append(s.Malformed, c.Text+" (unknown directive)")
+		}
+	}
+	return s
+}
+
+// OfFunc returns the annotations on a function declaration.
+func OfFunc(decl *ast.FuncDecl) Set {
+	if decl == nil {
+		return Set{}
+	}
+	return ParseDoc(decl.Doc)
+}
+
+// LineWaivers scans a file for trailing //mmutricks:noalloc-ok comments
+// and returns the set of waived line numbers (with their reasons).
+// Waivers without a reason are returned in malformed, keyed by line.
+func LineWaivers(fset *token.FileSet, f *ast.File) (waived map[int]string, malformed map[int]string) {
+	waived = map[int]string{}
+	malformed = map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, prefix+"noalloc-ok")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			reason := strings.TrimSpace(text)
+			if reason == "" {
+				malformed[line] = c.Text
+				continue
+			}
+			waived[line] = reason
+		}
+	}
+	return waived, malformed
+}
+
+// Pos of the first directive, for malformed-directive diagnostics.
+func DocDirectivePos(doc *ast.CommentGroup) token.Pos {
+	if doc == nil {
+		return token.NoPos
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, prefix) {
+			return c.Pos()
+		}
+	}
+	return doc.Pos()
+}

@@ -1,0 +1,80 @@
+package annotation
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseFuncDoc(t *testing.T, doc string) Set {
+	t.Helper()
+	src := "package p\n\n" + doc + "\nfunc f() {}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return OfFunc(f.Decls[0].(*ast.FuncDecl))
+}
+
+func TestParseDoc(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want Set
+	}{
+		{"//mmutricks:noalloc", Set{Noalloc: true}},
+		{"// Lookup is hot.\n//\n//mmutricks:noalloc", Set{Noalloc: true}},
+		{"//mmutricks:free cost returned to caller", Set{Free: true, FreeReason: "cost returned to caller"}},
+		{"//mmutricks:nocheck panics mid-flush", Set{Nocheck: true, NocheckReason: "panics mid-flush"}},
+		// Malformed forms: honored as nothing, reported as malformed.
+		{"//mmutricks:noalloc extra", Set{Malformed: []string{"//mmutricks:noalloc extra (noalloc takes no argument)"}}},
+		{"//mmutricks:free", Set{Malformed: []string{"//mmutricks:free (free requires a reason)"}}},
+		{"//mmutricks:nocheck", Set{Malformed: []string{"//mmutricks:nocheck (nocheck requires a reason)"}}},
+		{"//mmutricks:noalloc-ok cold path", Set{Malformed: []string{"//mmutricks:noalloc-ok cold path (noalloc-ok is a line waiver, not a declaration annotation)"}}},
+		{"//mmutricks:frobnicate", Set{Malformed: []string{"//mmutricks:frobnicate (unknown directive)"}}},
+		// Non-directive comments are ignored.
+		{"// mmutricks:noalloc has a space, so it is prose", Set{}},
+	}
+	for _, tc := range cases {
+		got := parseFuncDoc(t, tc.doc)
+		if got.Noalloc != tc.want.Noalloc || got.Free != tc.want.Free ||
+			got.FreeReason != tc.want.FreeReason || got.Nocheck != tc.want.Nocheck ||
+			got.NocheckReason != tc.want.NocheckReason || len(got.Malformed) != len(tc.want.Malformed) {
+			t.Errorf("ParseDoc(%q) = %+v, want %+v", tc.doc, got, tc.want)
+			continue
+		}
+		for i := range got.Malformed {
+			if got.Malformed[i] != tc.want.Malformed[i] {
+				t.Errorf("ParseDoc(%q) malformed[%d] = %q, want %q", tc.doc, i, got.Malformed[i], tc.want.Malformed[i])
+			}
+		}
+	}
+}
+
+func TestLineWaivers(t *testing.T) {
+	src := `package p
+
+func f() *int {
+	x := new(int) //mmutricks:noalloc-ok boot-time only
+	y := new(int) //mmutricks:noalloc-ok
+	_ = y
+	return x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	waived, malformed := LineWaivers(fset, f)
+	if got := waived[4]; got != "boot-time only" {
+		t.Errorf("waived[4] = %q, want %q", got, "boot-time only")
+	}
+	if len(waived) != 1 {
+		t.Errorf("waived = %v, want exactly line 4", waived)
+	}
+	if _, ok := malformed[5]; !ok || len(malformed) != 1 {
+		t.Errorf("malformed = %v, want exactly line 5 (reasonless waiver)", malformed)
+	}
+}

@@ -1,0 +1,311 @@
+// Package cyclecost enforces the simulator's cycle-accounting
+// discipline: code that touches modeled memory state must charge the
+// cycle ledger, or explicitly declare that the cost is its caller's
+// responsibility. Uncharged memory touches silently deflate the cycle
+// counts every experiment in the paper reproduction reports.
+//
+// Scope: packages named ppc, cache, kernel, and machine. _test.go
+// files are exempt: tests exercise the primitives without charging by
+// design.
+//
+// A function "raw-touches" modeled memory when it
+//
+//   - calls a cache primitive (Cache.Access, AccessNoAlloc,
+//     AccessInhibited, ZeroLine, Prefetch) directly, or
+//   - (inside package cache itself) mutates the line arrays backing a
+//     Cache — the definition layer of those primitives, or
+//   - calls a same-package function that raw-touches without charging.
+//
+// A function "charges" when it calls Ledger.Charge, or a self-charging
+// machine primitive (a method named MemAccess or Fetch, or
+// machine.ZeroLine/machine.Prefetch — each of which is itself checked
+// by this analyzer in its own package), or a same-package function
+// that charges.
+//
+// Every exported function in scope that raw-touches but does not
+// charge is flagged unless it carries a `//mmutricks:free <reason>`
+// waiver declaring the cost deliberately unaccounted (probes) or
+// returned to the caller (the cache package's convention).
+//
+// The check is presence-based, not path-sensitive: it proves that
+// accounting exists, not that every branch charges the right amount —
+// that remains the job of the runtime tests.
+package cyclecost
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cyclecost",
+	Doc:  "require modeled-memory touches to charge the cycle ledger or carry //mmutricks:free",
+	Run:  run,
+}
+
+// scopePkgs are the package names the discipline applies to.
+var scopePkgs = map[string]bool{"ppc": true, "cache": true, "kernel": true, "machine": true}
+
+// cachePrimitives are the *cache.Cache methods that move modeled
+// memory without charging.
+var cachePrimitives = map[string]bool{
+	"Access": true, "AccessNoAlloc": true, "AccessInhibited": true,
+	"ZeroLine": true, "Prefetch": true, "Touch": true,
+}
+
+// summary is the fixpoint state for one function.
+type summary struct {
+	touchesRaw bool
+	charges    bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !scopePkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	a := &analyzer{pass: pass, decls: map[*types.Func]*ast.FuncDecl{}, sums: map[*types.Func]*summary{}}
+	for _, file := range pass.Files {
+		// Test code exercises the primitives without charging by
+		// design; the discipline binds the simulator proper.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					a.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for fn := range a.decls {
+		a.summarize(fn, map[*types.Func]bool{})
+	}
+	for fn, fd := range a.decls {
+		if !fn.Exported() {
+			continue
+		}
+		s := a.sums[fn]
+		if s == nil || !s.touchesRaw || s.charges {
+			continue
+		}
+		set := annotation.OfFunc(fd)
+		for _, m := range set.Malformed {
+			pass.Reportf(annotation.DocDirectivePos(fd.Doc), "malformed mmutricks directive: %s", m)
+		}
+		if set.Free {
+			continue
+		}
+		pass.Reportf(fd.Pos(), "%s touches modeled memory but never charges the cycle ledger; call Ledger.Charge or annotate //mmutricks:free <reason>", fn.Name())
+	}
+	return nil
+}
+
+type analyzer struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*summary
+}
+
+// summarize computes the {touchesRaw, charges} summary of fn,
+// following same-package static calls (cycle-guarded).
+func (a *analyzer) summarize(fn *types.Func, inProgress map[*types.Func]bool) *summary {
+	if s, ok := a.sums[fn]; ok {
+		return s
+	}
+	if inProgress[fn] {
+		return &summary{}
+	}
+	inProgress[fn] = true
+	defer delete(inProgress, fn)
+
+	s := &summary{}
+	fd := a.decls[fn]
+	if fd == nil {
+		return s
+	}
+	isCachePkg := a.pass.Pkg.Name() == "cache"
+	var recvName string
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvName = fd.Recv.List[0].Names[0].Name
+	}
+	var tainted map[string]bool
+	if isCachePkg && recvName != "" {
+		tainted = receiverAliases(fd.Body, recvName)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch a.classifyCall(n) {
+			case callCharges:
+				s.charges = true
+			case callRawTouch:
+				s.touchesRaw = true
+			case callLocal:
+				if callee := localCallee(a.pass, n); callee != nil {
+					cs := a.summarize(callee, inProgress)
+					if cs.touchesRaw && !cs.charges {
+						s.touchesRaw = true
+					}
+					if cs.charges {
+						s.charges = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if tainted != nil {
+				for _, lhs := range n.Lhs {
+					if writesReceiverState(lhs, tainted) {
+						s.touchesRaw = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if tainted != nil && writesReceiverState(n.X, tainted) {
+				s.touchesRaw = true
+			}
+		}
+		return true
+	})
+	a.sums[fn] = s
+	return s
+}
+
+type callKind int
+
+const (
+	callOther callKind = iota
+	callCharges
+	callRawTouch
+	callLocal
+)
+
+// classifyCall decides what one call contributes to a summary.
+func (a *analyzer) classifyCall(n *ast.CallExpr) callKind {
+	sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if fn, ok := a.pass.Info.Uses[id].(*types.Func); ok && a.decls[fn] != nil {
+				return callLocal
+			}
+		}
+		return callOther
+	}
+	selection, ok := a.pass.Info.Selections[sel]
+	if !ok {
+		return callOther
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return callOther
+	}
+	recv := recvNamed(selection.Recv())
+	switch {
+	case fn.Name() == "Charge" && recv == "clock.Ledger":
+		return callCharges
+	case fn.Name() == "MemAccess" || fn.Name() == "Fetch":
+		// Bus-level primitives charge internally (their definitions are
+		// themselves in scope for this analyzer).
+		return callCharges
+	case (fn.Name() == "ZeroLine" || fn.Name() == "Prefetch") && recv == "machine.Machine":
+		return callCharges
+	case recv == "cache.Cache" && cachePrimitives[fn.Name()]:
+		return callRawTouch
+	case a.decls[fn] != nil:
+		return callLocal
+	}
+	return callOther
+}
+
+// recvNamed renders a receiver type as "pkgname.TypeName".
+func recvNamed(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+}
+
+// localCallee resolves a call to a function declared in this package.
+func localCallee(pass *analysis.Pass, n *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// receiverAliases computes, in one forward pass, the local variable
+// names initialized from receiver-rooted expressions (the cache
+// package's `lines := c.sets[set]` idiom), receiver included.
+func receiverAliases(body *ast.BlockStmt, recvName string) map[string]bool {
+	tainted := map[string]bool{recvName: true}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			root := rootIdent(rhs)
+			if root == nil || !tainted[root.Name] {
+				continue
+			}
+			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				tainted[id.Name] = true
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// writesReceiverState reports whether lhs is an indexed write through
+// the receiver's line storage or an alias of it — the definition-layer
+// equivalent of a memory touch.
+func writesReceiverState(lhs ast.Expr, tainted map[string]bool) bool {
+	root := rootIdent(lhs)
+	return root != nil && tainted[root.Name] && hasIndex(lhs)
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func hasIndex(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			found = true
+		}
+		return true
+	})
+	return found
+}

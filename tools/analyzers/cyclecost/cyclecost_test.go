@@ -1,0 +1,12 @@
+package cyclecost_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/cyclecost"
+)
+
+func TestCyclecost(t *testing.T) {
+	analysistest.Run(t, "testdata", cyclecost.Analyzer, "clock", "cache", "ppc")
+}

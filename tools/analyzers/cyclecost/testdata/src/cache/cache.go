@@ -1,0 +1,41 @@
+// Package cache is a fixture mirroring the simulator's cache package:
+// the definition layer of the modeled-memory primitives. Writes to the
+// line arrays behind the receiver count as raw touches.
+package cache
+
+type line struct {
+	tag   uint32
+	valid bool
+}
+
+// Cache is a toy set-associative cache.
+type Cache struct {
+	sets [][]line
+	hits uint64
+}
+
+// Access touches the line arrays without charging and carries no
+// waiver: flagged.
+func (c *Cache) Access(addr uint32) bool { // want `Access touches modeled memory but never charges the cycle ledger`
+	set := addr % uint32(len(c.sets))
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == addr {
+			return true
+		}
+	}
+	lines[0].tag = addr
+	lines[0].valid = true
+	return false
+}
+
+// Touch probes a set on the caller's budget.
+//
+//mmutricks:free miss/hit cost is returned to the caller, who charges it
+func (c *Cache) Touch(addr uint32) {
+	set := addr % uint32(len(c.sets))
+	c.sets[set][0].tag = addr
+}
+
+// Len reads metadata only: no touch, clean.
+func (c *Cache) Len() int { return len(c.sets) }

@@ -1,0 +1,15 @@
+// Package clock is a fixture stand-in for the simulator's cycle
+// ledger. It is outside cyclecost's scope and must stay unflagged.
+package clock
+
+// Cycles counts simulated cycles.
+type Cycles uint64
+
+// Ledger accumulates charged cycles.
+type Ledger struct{ total Cycles }
+
+// Charge adds n cycles to the ledger.
+func (l *Ledger) Charge(n Cycles) { l.total += n }
+
+// Total reads the accumulated count.
+func (l *Ledger) Total() Cycles { return l.total }

@@ -1,0 +1,64 @@
+// Package ppc is a fixture mirroring the simulator's MMU layer: the
+// consumers of the cache primitives, where every exported entry point
+// must charge the ledger or declare itself free.
+package ppc
+
+import (
+	"cache"
+	"clock"
+)
+
+// Bus is the self-charging memory interface (its implementations are
+// checked in their own package).
+type Bus interface {
+	MemAccess(pa uint32)
+}
+
+// MMU holds a cache, a bus, and the ledger.
+type MMU struct {
+	l1  *cache.Cache
+	bus Bus
+	led *clock.Ledger
+}
+
+// Translate touches the cache and charges: clean.
+func (m *MMU) Translate(addr uint32) bool {
+	hit := m.l1.Access(addr)
+	m.led.Charge(clock.Cycles(2))
+	return hit
+}
+
+// Probe touches the cache without charging: flagged.
+func (m *MMU) Probe(addr uint32) bool { // want `Probe touches modeled memory but never charges the cycle ledger`
+	return m.l1.Access(addr)
+}
+
+// Peek is a deliberately uncounted diagnostic probe.
+//
+//mmutricks:free diagnostic probe, measured paths never call it
+func (m *MMU) Peek(addr uint32) bool {
+	return m.l1.Access(addr)
+}
+
+// fill is unexported: not flagged itself, but taints callers.
+func (m *MMU) fill(addr uint32) {
+	m.l1.Access(addr)
+}
+
+// Refill inherits fill's uncharged touch: flagged transitively.
+func (m *MMU) Refill(addr uint32) { // want `Refill touches modeled memory but never charges the cycle ledger`
+	m.fill(addr)
+}
+
+// RefillCharged pairs the same helper with a charge: clean.
+func (m *MMU) RefillCharged(addr uint32) {
+	m.fill(addr)
+	m.led.Charge(1)
+}
+
+// AccessThrough touches the cache but the bus access charges
+// internally: clean.
+func (m *MMU) AccessThrough(addr uint32) {
+	m.l1.Access(addr)
+	m.bus.MemAccess(addr)
+}

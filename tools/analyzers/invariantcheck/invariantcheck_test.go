@@ -1,0 +1,12 @@
+package invariantcheck_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/invariantcheck"
+)
+
+func TestInvariantcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", invariantcheck.Analyzer, "kernel", "sim", "report")
+}

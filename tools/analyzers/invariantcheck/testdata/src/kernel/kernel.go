@@ -1,0 +1,24 @@
+// Package kernel is a fixture stand-in for the simulator's kernel:
+// the mutator surface invariantcheck watches, plus the checker itself.
+package kernel
+
+// Kernel models the translation-state owner.
+type Kernel struct {
+	generation int
+	zombies    int
+}
+
+// Fork duplicates translation state (COW path).
+func (k *Kernel) Fork() { k.generation++ }
+
+// Swap evicts n frames.
+func (k *Kernel) Swap(n int) { k.zombies += n }
+
+// FlushTaskContext lazily flushes a task's mappings.
+func (k *Kernel) FlushTaskContext(id int) { k.zombies++ }
+
+// Stats is a read-only accessor, not a mutator.
+func (k *Kernel) Stats() int { return k.zombies }
+
+// CheckConsistency validates the coherence invariants.
+func (k *Kernel) CheckConsistency() error { return nil }

@@ -1,0 +1,34 @@
+// Package report is a fixture for experiment-Run roots: functions
+// wired into an Experiment literal carry the same obligation tests do.
+package report
+
+import "kernel"
+
+// Experiment mirrors the report package's registration record.
+type Experiment struct {
+	ID  string
+	Run func() error
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+func init() {
+	register(Experiment{ID: "sec5.flush", Run: runFlush})
+	register(Experiment{ID: "sec6.swap", Run: runSwapChecked})
+}
+
+// Flagged: an experiment that mutates without checking.
+func runFlush() error { // want `runFlush mutates kernel translation state but never calls CheckConsistency`
+	k := &kernel.Kernel{}
+	k.FlushTaskContext(3)
+	return nil
+}
+
+// Clean: mutates, then validates.
+func runSwapChecked() error {
+	k := &kernel.Kernel{}
+	k.Swap(1)
+	return k.CheckConsistency()
+}

@@ -1,0 +1,70 @@
+// Package sim holds test-root fixtures for invariantcheck.
+package sim
+
+import (
+	"kernel"
+	"testing"
+)
+
+// Flagged: mutates translation state and never validates.
+func TestSwapNoCheck(t *testing.T) { // want `TestSwapNoCheck mutates kernel translation state but never calls CheckConsistency`
+	k := &kernel.Kernel{}
+	k.Fork()
+	k.Swap(1)
+}
+
+// Clean: validates after mutating.
+func TestSwapChecked(t *testing.T) {
+	k := &kernel.Kernel{}
+	k.Swap(1)
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Clean: the check may live in a same-package helper.
+func TestSwapHelperChecked(t *testing.T) {
+	k := &kernel.Kernel{}
+	k.Swap(2)
+	mustConsistent(t, k)
+}
+
+func mustConsistent(t *testing.T, k *kernel.Kernel) {
+	t.Helper()
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Flagged transitively: the mutation hides in a helper.
+func TestMutateViaHelper(t *testing.T) { // want `TestMutateViaHelper mutates kernel translation state but never calls CheckConsistency`
+	k := &kernel.Kernel{}
+	churn(k)
+}
+
+func churn(k *kernel.Kernel) {
+	k.FlushTaskContext(9)
+}
+
+// Clean: reads carry no obligation.
+func TestStats(t *testing.T) {
+	k := &kernel.Kernel{}
+	_ = k.Stats()
+}
+
+// Waived: the state is deliberately abandoned mid-mutation.
+//
+//mmutricks:nocheck panics mid-flush by design; state is unreachable after
+func TestAbandoned(t *testing.T) {
+	k := &kernel.Kernel{}
+	k.FlushTaskContext(1)
+}
+
+// Benchmarks are exempt: a consistency sweep inside the timed loop
+// distorts the measurement.
+func BenchmarkSwap(b *testing.B) {
+	k := &kernel.Kernel{}
+	for i := 0; i < b.N; i++ {
+		k.Swap(i)
+	}
+}

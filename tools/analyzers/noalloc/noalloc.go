@@ -1,0 +1,473 @@
+// Package noalloc statically checks functions annotated
+// //mmutricks:noalloc for allocating constructs. PR 1 pinned the hot
+// translation paths at zero allocations with testing.AllocsPerRun;
+// that only fires when a test exercises the exact path, while this
+// analyzer proves the property over every path at make-check time.
+//
+// Inside an annotated function the analyzer flags:
+//
+//   - make, new, append, print/println
+//   - map, slice, and &-escaping composite literals
+//   - function literals (closures), go and defer statements
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - implicit interface boxing at assignments, call arguments,
+//     returns, and channel sends; implicit variadic slice allocation
+//   - map stores (rehash growth)
+//   - method values (bound-method closures)
+//   - calls to module functions NOT annotated //mmutricks:noalloc,
+//     calls to standard-library functions outside a small verified
+//     allowlist, and dynamic calls through function values
+//
+// A call through an interface is allowed only when the interface
+// method declaration itself carries //mmutricks:noalloc; the analyzer
+// then requires every module implementation of that method to be
+// annotated (and therefore checked) too.
+//
+// panic calls are exempt: they are cold assertion paths.
+// A construct can be waived on its line with
+// `//mmutricks:noalloc-ok <reason>`.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/annotation"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check //mmutricks:noalloc functions for allocating constructs and unverified callees",
+	Run:  run,
+}
+
+// stdlibAllowed are standard-library packages whose functions are
+// trusted not to allocate (leaf arithmetic and atomics).
+var stdlibAllowed = map[string]bool{
+	"sync/atomic": true,
+	"math/bits":   true,
+	"math":        true,
+	"unsafe":      true,
+}
+
+// builtinAllowed are allocation-free builtins; panic is allowed as a
+// cold assertion path.
+var builtinAllowed = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"min": true, "max": true, "real": true, "imag": true,
+	"panic": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived, badWaivers := annotation.LineWaivers(pass.Fset, file)
+		for line := range badWaivers {
+			pass.Reportf(lineStart(pass, file, line), "mmutricks:noalloc-ok waiver requires a reason")
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			set := annotation.OfFunc(fd)
+			for _, m := range set.Malformed {
+				pass.Reportf(annotation.DocDirectivePos(fd.Doc), "malformed mmutricks directive: %s", m)
+			}
+			if !set.Noalloc || fd.Body == nil {
+				continue
+			}
+			(&checker{pass: pass, decl: fd, waived: waived}).check()
+		}
+	}
+	checkInterfaceImpls(pass)
+	return nil
+}
+
+// lineStart returns a position on the given line for reporting.
+func lineStart(pass *analysis.Pass, file *ast.File, line int) token.Pos {
+	tf := pass.Fset.File(file.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return file.Pos()
+	}
+	return tf.LineStart(line)
+}
+
+// checker walks one annotated function body.
+type checker struct {
+	pass   *analysis.Pass
+	decl   *ast.FuncDecl
+	waived map[int]string
+	// funs marks expressions in call position so method-value detection
+	// can skip them.
+	funs map[ast.Expr]bool
+}
+
+func (c *checker) flag(pos token.Pos, format string, args ...any) {
+	if _, ok := c.waived[c.pass.Fset.Position(pos).Line]; ok {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) check() {
+	c.funs = map[ast.Expr]bool{}
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			c.funs[call.Fun] = true
+		}
+		return true
+	})
+	c.walk(c.decl.Body)
+}
+
+// walk descends the body, skipping the interiors of flagged closures.
+func (c *checker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.flag(n.Pos(), "closure allocates")
+			return false
+		case *ast.GoStmt:
+			c.flag(n.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			c.flag(n.Pos(), "defer may allocate its record")
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.flag(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			c.binary(n)
+		case *ast.CallExpr:
+			return c.call(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.ReturnStmt:
+			c.returnStmt(n)
+		case *ast.SendStmt:
+			if ch, ok := typeUnder[*types.Chan](c.typeOf(n.Chan)); ok {
+				c.boxing(n.Value, ch.Elem())
+			}
+		case *ast.SelectorExpr:
+			c.methodValue(n)
+		case *ast.ValueSpec:
+			c.valueSpec(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) compositeLit(n *ast.CompositeLit) {
+	t := c.typeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.flag(n.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.flag(n.Pos(), "slice literal allocates its backing array")
+	}
+}
+
+func (c *checker) binary(n *ast.BinaryExpr) {
+	if n.Op != token.ADD {
+		return
+	}
+	tv, ok := c.pass.Info.Types[ast.Expr(n)]
+	if !ok || tv.Value != nil { // constant-folded
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		c.flag(n.Pos(), "string concatenation allocates")
+	}
+}
+
+// call handles conversions, builtins, and function/method calls. It
+// returns false when the walk should not descend into the callee
+// expression (it still descends manually into arguments).
+func (c *checker) call(n *ast.CallExpr) bool {
+	if tv, ok := c.pass.Info.Types[n.Fun]; ok && tv.IsType() {
+		c.conversion(n, tv.Type)
+		return true
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+			if !builtinAllowed[b.Name()] {
+				c.flag(n.Pos(), "builtin %s allocates", b.Name())
+			}
+			// panic's argument boxes, but panics are cold paths: skip
+			// the argument check entirely.
+			if b.Name() == "panic" {
+				return false
+			}
+			return true
+		}
+	}
+	fn := calleeFunc(c.pass, n.Fun)
+	if fn == nil {
+		c.flag(n.Pos(), "dynamic call through a function value cannot be verified allocation-free")
+		for _, a := range n.Args {
+			c.walk(a)
+		}
+		return false
+	}
+	c.callArgs(n)
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		if !annotation.ParseDoc(c.pass.Module.InterfaceMethodDoc(fn)).Noalloc {
+			c.flag(n.Pos(), "call through interface method %s.%s which is not //mmutricks:noalloc", recvTypeName(recv.Type()), fn.Name())
+		}
+		return true
+	}
+	if decl := c.pass.Module.FuncDecl(fn); decl != nil {
+		if !annotation.OfFunc(decl).Noalloc {
+			c.flag(n.Pos(), "calls %s which is not //mmutricks:noalloc", fn.Name())
+		}
+		return true
+	}
+	// Outside the module: standard library (or error types).
+	pkg := fn.Pkg()
+	if pkg == nil || !stdlibAllowed[pkg.Path()] {
+		path := "?"
+		if pkg != nil {
+			path = pkg.Path()
+		}
+		c.flag(n.Pos(), "calls %s.%s which is outside the verified allowlist", path, fn.Name())
+	}
+	return true
+}
+
+func (c *checker) conversion(n *ast.CallExpr, dst types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	src := c.typeOf(n.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		c.flag(n.Pos(), "conversion to interface boxes")
+		return
+	}
+	db, dOK := dst.Underlying().(*types.Basic)
+	_, sSlice := src.Underlying().(*types.Slice)
+	if dOK && db.Info()&types.IsString != 0 && sSlice {
+		c.flag(n.Pos(), "[]byte/[]rune to string conversion allocates")
+		return
+	}
+	sb, sOK := src.Underlying().(*types.Basic)
+	_, dSlice := dst.Underlying().(*types.Slice)
+	if sOK && sb.Info()&types.IsString != 0 && dSlice {
+		c.flag(n.Pos(), "string to slice conversion allocates")
+	}
+}
+
+// callArgs checks interface boxing against the callee signature and
+// implicit variadic slice allocation.
+func (c *checker) callArgs(n *ast.CallExpr) {
+	sig, ok := c.typeOf(n.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			last := params.At(np - 1).Type()
+			if n.Ellipsis.IsValid() {
+				pt = last
+			} else if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.boxing(arg, pt)
+		}
+	}
+	if sig.Variadic() && !n.Ellipsis.IsValid() && len(n.Args) >= np {
+		c.flag(n.Pos(), "implicit variadic slice allocates")
+	}
+}
+
+// boxing flags expr when assigning it to dst performs an interface
+// conversion of a non-interface value.
+func (c *checker) boxing(expr ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := c.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.flag(expr.Pos(), "implicit conversion to interface boxes")
+}
+
+func (c *checker) assign(n *ast.AssignStmt) {
+	// Map stores can trigger rehash growth.
+	for _, lhs := range n.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if _, isMap := typeUnder[*types.Map](c.typeOf(ix.X)); isMap {
+				c.flag(lhs.Pos(), "map store may grow the map")
+			}
+		}
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			c.boxing(n.Rhs[i], c.typeOf(n.Lhs[i]))
+		}
+	}
+}
+
+func (c *checker) valueSpec(n *ast.ValueSpec) {
+	if n.Type == nil || len(n.Values) == 0 {
+		return
+	}
+	dst := c.typeOf(n.Type)
+	for _, v := range n.Values {
+		c.boxing(v, dst)
+	}
+}
+
+func (c *checker) returnStmt(n *ast.ReturnStmt) {
+	obj, ok := c.pass.Info.Defs[c.decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if len(n.Results) != results.Len() {
+		return // bare return or comma-ok spread
+	}
+	for i, r := range n.Results {
+		c.boxing(r, results.At(i).Type())
+	}
+}
+
+// methodValue flags t.Method used as a value (a bound-method closure).
+func (c *checker) methodValue(n *ast.SelectorExpr) {
+	if c.funs[n] {
+		return
+	}
+	if sel, ok := c.pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+		c.flag(n.Pos(), "method value allocates a bound-method closure")
+	}
+}
+
+// typeUnder returns t.Underlying() as U when possible.
+func typeUnder[U types.Type](t types.Type) (U, bool) {
+	var zero U
+	if t == nil {
+		return zero, false
+	}
+	u, ok := t.Underlying().(U)
+	return u, ok
+}
+
+// calleeFunc resolves the static callee of a call expression, or nil
+// for dynamic calls.
+func calleeFunc(pass *analysis.Pass, fun ast.Expr) *types.Func {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified package function: pkg.F.
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func recvTypeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkInterfaceImpls requires every module implementation of an
+// annotated interface method to be annotated itself, so the contract a
+// call site relies on is actually verified somewhere.
+func checkInterfaceImpls(pass *analysis.Pass) {
+	var annotated []*types.Func
+	for fn, doc := range pass.Module.InterfaceMethods() {
+		if annotation.ParseDoc(doc).Noalloc {
+			annotated = append(annotated, fn)
+		}
+	}
+	if len(annotated) == 0 {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for _, ifn := range annotated {
+			iface, ok := ifn.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			var impl types.Type
+			switch {
+			case types.Implements(named, iface):
+				impl = named
+			case types.Implements(types.NewPointer(named), iface):
+				impl = types.NewPointer(named)
+			default:
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, pass.Pkg, ifn.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			decl := pass.Module.FuncDecl(m)
+			if decl == nil {
+				continue // promoted from an embedded type outside the package
+			}
+			if !annotation.OfFunc(decl).Noalloc {
+				pass.Reportf(decl.Pos(), "%s implements //mmutricks:noalloc interface method %s.%s but is not annotated //mmutricks:noalloc", name, recvTypeName(ifn.Type().(*types.Signature).Recv().Type()), ifn.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "a", "b")
+}

@@ -1,0 +1,96 @@
+// Package a holds noalloc fixtures that must be flagged.
+package a
+
+import (
+	"math/bits"
+	"strings"
+)
+
+type point struct{ x, y int }
+
+// Bus mirrors the simulator's bus: annotated interface method, so
+// calls through it are allowed but implementations must be annotated.
+type Bus interface {
+	//mmutricks:noalloc
+	MemAccess(pa uint32)
+}
+
+// badBus implements Bus without the annotation.
+type badBus struct{ n uint32 }
+
+func (b *badBus) MemAccess(pa uint32) { b.n += pa } // want `badBus implements //mmutricks:noalloc interface method Bus.MemAccess but is not annotated`
+
+// UnverifiedBus lacks the annotation on its method.
+type UnverifiedBus interface {
+	MemAccess(pa uint32)
+}
+
+//mmutricks:noalloc
+func makes() []int {
+	m := map[int]int{}      // want `map literal allocates`
+	s := []int{1, 2}        // want `slice literal allocates`
+	p := &point{1, 2}       // want `&composite literal escapes`
+	t := make([]int, 4)     // want `builtin make allocates`
+	n := new(point)         // want `builtin new allocates`
+	s = append(s, 3)        // want `builtin append allocates`
+	m[1] = p.x + n.x + t[0] // want `map store may grow`
+	return s
+}
+
+//mmutricks:noalloc
+func controlFlow() {
+	f := func() {} // want `closure allocates`
+	go helper()    // want `go statement allocates` `calls helper which is not`
+	defer helper() // want `defer may allocate` `calls helper which is not`
+	f()            // want `dynamic call through a function value`
+}
+
+//mmutricks:noalloc
+func stringsAndBoxes(a, b string, v int) string {
+	c := a + b            // want `string concatenation allocates`
+	bs := []byte(a)       // want `string to slice conversion allocates`
+	d := string(bs)       // want `to string conversion allocates`
+	var i interface{} = v // want `implicit conversion to interface boxes`
+	e := interface{}(v)   // want `conversion to interface boxes`
+	sink(v)               // want `implicit conversion to interface boxes` `calls sink which is not`
+	variadic(1, 2)        // want `implicit variadic slice allocates` `calls variadic which is not`
+	_ = i
+	_ = e
+	return c + d // want `string concatenation allocates`
+}
+
+func sink(v interface{}) { _ = v }
+
+func variadic(vs ...int) {}
+
+func helper() {}
+
+//mmutricks:noalloc
+func callees(b Bus, u UnverifiedBus) {
+	helper()                   // want `calls helper which is not //mmutricks:noalloc`
+	b.MemAccess(1)             // ok: annotated interface method
+	u.MemAccess(1)             // want `call through interface method UnverifiedBus.MemAccess which is not`
+	_ = bits.OnesCount(7)      // ok: allowlisted stdlib
+	_ = strings.Repeat("x", 2) // want `calls strings.Repeat which is outside the verified allowlist`
+}
+
+//mmutricks:noalloc
+func mapsAndMethods(m map[int]int, b *badBus) {
+	m[1] = 2         // want `map store may grow`
+	f := b.MemAccess // want `method value allocates`
+	f(1)             // want `dynamic call through a function value`
+	if len(m) == 0 {
+		panic("empty") // ok: cold assertion path
+	}
+}
+
+//mmutricks:noalloc
+func waived() *point {
+	return &point{1, 2} //mmutricks:noalloc-ok boot-time only, never on the hot path
+}
+
+//mmutricks:noalloc takes-no-arg // want `noalloc takes no argument`
+func malformedDirective() {}
+
+//mmutricks:frobnicate // want `unknown directive`
+func unknownDirective() {}

@@ -1,0 +1,72 @@
+// Package b holds noalloc fixtures that must stay clean: an annotated
+// call chain built only from allocation-free constructs.
+package b
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+type entry struct {
+	tag   uint32
+	valid bool
+}
+
+// Mem is the annotated bus contract; ram implements and annotates it.
+type Mem interface {
+	//mmutricks:noalloc
+	Load(pa uint32) uint32
+}
+
+type ram struct {
+	words [64]uint32
+	hits  atomic.Uint64
+}
+
+//mmutricks:noalloc
+func (r *ram) Load(pa uint32) uint32 {
+	r.hits.Add(1)
+	return r.words[pa%64]
+}
+
+type table struct {
+	entries [16]entry
+}
+
+//mmutricks:noalloc
+func (t *table) lookup(tag uint32) (uint32, bool) {
+	i := index(tag)
+	e := &t.entries[i]
+	if !e.valid || e.tag != tag {
+		return 0, false
+	}
+	return e.tag, true
+}
+
+//mmutricks:noalloc
+func index(tag uint32) uint32 {
+	return uint32(bits.RotateLeft32(tag, 7)) % 16
+}
+
+//mmutricks:noalloc
+func Translate(t *table, m Mem, tag uint32) uint32 {
+	if t == nil {
+		panic("nil table")
+	}
+	v, ok := t.lookup(tag)
+	if !ok {
+		v = m.Load(tag)
+	}
+	n := min(int(v), 42)
+	buf := [4]uint32{v, tag, uint32(n), 0}
+	var sum uint32
+	for _, w := range buf {
+		sum += w
+	}
+	return sum
+}
+
+// plain is unannotated, so nothing in its body is checked.
+func plain() []entry {
+	return append([]entry{}, entry{tag: 1, valid: true})
+}

@@ -1,0 +1,199 @@
+// Package registry checks experiment-registration hygiene in the
+// report package, where the parallel harness's determinism guarantees
+// are rooted:
+//
+//   - register(...) must be called from an init function (so every
+//     section registers exactly once, unconditionally);
+//   - the argument must be an Experiment composite literal whose ID is
+//     a string literal (statically auditable), unique across the
+//     package;
+//   - the closure passed to RowSet must only write captured variables
+//     through index expressions (res[i] = ...): rows execute on
+//     whatever harness tokens are idle, so an append or scalar write
+//     to shared state is order-dependent and breaks the byte-identical
+//     -j guarantee.
+//
+// _test.go files are exempt: negative tests of the registration
+// machinery violate these rules on purpose.
+package registry
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mmutricks/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "registry",
+	Doc:  "check experiment registration hygiene and RowSet closure index-stability",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "report" {
+		return nil
+	}
+	seen := map[string]token.Pos{}
+	for _, file := range pass.Files {
+		// Test files probing the registration machinery (e.g. asserting
+		// that a duplicate register panics) are exempt: the hygiene rules
+		// bind the production registration surface.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch calleeName(pass, call) {
+				case "register":
+					checkRegister(pass, call, inInit, seen)
+				case "RowSet":
+					checkRowSet(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// calleeName resolves a call to a package-level function name in the
+// report package ("" otherwise).
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Name() == "report" {
+			return fn.Name()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Name() == "report" {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+func checkRegister(pass *analysis.Pass, call *ast.CallExpr, inInit bool, seen map[string]token.Pos) {
+	if !inInit {
+		pass.Reportf(call.Pos(), "register must be called from init so every section registers exactly once")
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(), "register argument must be an Experiment literal so its ID is statically auditable")
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "ID" {
+			continue
+		}
+		basic, ok := ast.Unparen(kv.Value).(*ast.BasicLit)
+		if !ok || basic.Kind != token.STRING {
+			pass.Reportf(kv.Value.Pos(), "experiment ID must be a string literal, not a computed value")
+			return
+		}
+		id := basic.Value
+		if prev, dup := seen[id]; dup {
+			pass.Reportf(kv.Value.Pos(), "duplicate experiment ID %s (previously registered at %s)", id, pass.Fset.Position(prev))
+			return
+		}
+		seen[id] = kv.Value.Pos()
+		return
+	}
+	pass.Reportf(lit.Pos(), "Experiment literal has no ID field")
+}
+
+// checkRowSet enforces index-stable writes inside the RowSet closure.
+func checkRowSet(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	fn, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	if !ok {
+		return // a named function gets no captured-variable scrutiny here
+	}
+	checkWrite := func(lhs ast.Expr) {
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		// Captured: declared outside the closure.
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() {
+			return
+		}
+		if !writesThroughIndex(lhs) {
+			pass.Reportf(lhs.Pos(), "RowSet closure writes captured variable %s without indexing; rows run concurrently, so non-indexed writes are order-dependent", root.Name)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X)
+		}
+		return true
+	})
+}
+
+// writesThroughIndex reports whether the write path goes through an
+// index expression (res[i] = ..., tab.Rows[i].Cells[j] = ...).
+func writesThroughIndex(lhs ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package registry_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/registry"
+)
+
+func TestRegistry(t *testing.T) {
+	analysistest.Run(t, "testdata", registry.Analyzer, "report", "reportclean")
+}

@@ -1,0 +1,53 @@
+// Package report is the flagged fixture for registration hygiene.
+package report
+
+// Experiment mirrors the report package's registration record.
+type Experiment struct {
+	ID  string
+	Run func() error
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// RowSet mirrors the harness's token-borrowing row runner: fn(i) may
+// execute on any idle token, in any order.
+func RowSet(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+var suffix = "7.x"
+
+func init() {
+	register(Experiment{ID: "sec5.good", Run: runGood})
+	register(Experiment{ID: "sec5.good", Run: runGood}) // want `duplicate experiment ID`
+	register(Experiment{Run: runGood})                  // want `Experiment literal has no ID field`
+	register(Experiment{ID: "sec" + suffix})            // want `experiment ID must be a string literal`
+	register(makeExperiment())                          // want `register argument must be an Experiment literal`
+}
+
+func makeExperiment() Experiment { return Experiment{} }
+
+// lateRegister registers outside init: conditional or repeated
+// registration breaks the exactly-once guarantee.
+func lateRegister() {
+	register(Experiment{ID: "sec9.late", Run: runGood}) // want `register must be called from init`
+}
+
+var _ = lateRegister
+
+func runGood() error {
+	res := make([]int, 8)
+	var total int
+	RowSet(8, func(i int) {
+		res[i] = i * i // ok: indexed write into a captured slice
+	})
+	RowSet(8, func(i int) {
+		total += res[i] // want `RowSet closure writes captured variable total without indexing`
+	})
+	_ = total
+	return nil
+}

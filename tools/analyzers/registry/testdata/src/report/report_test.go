@@ -1,0 +1,14 @@
+package report
+
+import "testing"
+
+// Test files are exempt: negative tests of the registration machinery
+// register duplicates outside init on purpose.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	register(Experiment{ID: "sec5.good"})
+}

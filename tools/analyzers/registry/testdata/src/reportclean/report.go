@@ -1,0 +1,36 @@
+// Package report (clean fixture): disciplined registrations that must
+// produce no diagnostics.
+package report
+
+// Experiment mirrors the report package's registration record.
+type Experiment struct {
+	ID  string
+	Run func() error
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// RowSet mirrors the harness's row runner.
+func RowSet(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func init() {
+	register(Experiment{ID: "sec5.flush", Run: run5})
+	register(Experiment{ID: "sec6.swap", Run: run6})
+}
+
+func run5() error {
+	res := make([]float64, 4)
+	RowSet(4, func(i int) {
+		j := i * 2 // ok: closure-local writes are fine
+		res[i] = float64(j)
+	})
+	return nil
+}
+
+func run6() error { return nil }

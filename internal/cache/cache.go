@@ -190,6 +190,8 @@ func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
 // caches are copy-back). Writes mark the line dirty; misses allocate
 // for both reads and writes, and any evicted line is attributed in the
 // pollution matrix.
+//
+//mmutricks:free hit/miss/castout are returned; the machine layer charges them
 func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
@@ -211,6 +213,8 @@ func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout 
 
 // AccessInhibited performs a cache-inhibited access: it never hits and
 // never fills, exactly like a WIMG I=1 access on the real part.
+//
+//mmutricks:free the caller charges the uncached memory latency
 func (c *Cache) AccessInhibited(class Class) {
 	c.stats.Inhibited[class]++
 }
@@ -218,6 +222,8 @@ func (c *Cache) AccessInhibited(class Class) {
 // AccessNoAlloc performs an access under a locked cache (§10.1): hits
 // behave normally, but misses do not allocate — nothing is evicted to
 // make room. It returns whether the access hit.
+//
+//mmutricks:free hit/miss is returned; the machine layer charges it
 func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
@@ -241,6 +247,8 @@ func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bo
 // avoided it for bzero() "for the same reason" as cached idle clearing:
 // it trades a memory read for maximal cache pollution. It returns
 // whether a dirty victim was cast out.
+//
+//mmutricks:free the castout is returned; machine.ZeroLine charges it
 func (c *Cache) ZeroLine(pa arch.PhysAddr, class Class) (castout bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
@@ -262,6 +270,8 @@ func (c *Cache) ZeroLine(pa arch.PhysAddr, class Class) (castout bool) {
 // and possibly evicting, with normal attribution) but no access or miss
 // is counted — the latency is assumed overlapped with other work. It
 // reports whether a fill was needed.
+//
+//mmutricks:free prefetch latency overlaps; machine.Prefetch charges the issue cost
 func (c *Cache) Prefetch(pa arch.PhysAddr, class Class) (filled bool) {
 	set, tag := c.index(pa)
 	lines := c.sets[set]
@@ -278,6 +288,8 @@ func (c *Cache) Prefetch(pa arch.PhysAddr, class Class) (filled bool) {
 
 // Touch fills a line without counting an access or a miss; used to
 // preload state (e.g. warming the cache before measurement).
+//
+//mmutricks:free deliberately uncounted warm-up, outside the measured window
 func (c *Cache) Touch(pa arch.PhysAddr, class Class) {
 	set, tag := c.index(pa)
 	lines := c.sets[set]
@@ -328,6 +340,8 @@ func (c *Cache) Contains(pa arch.PhysAddr) bool {
 }
 
 // InvalidateAll empties the cache (used at machine reset).
+//
+//mmutricks:free machine reset happens outside any measured window
 func (c *Cache) InvalidateAll() {
 	for i := range c.sets {
 		for j := range c.sets[i] {

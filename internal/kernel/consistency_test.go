@@ -131,28 +131,94 @@ func TestConsistencyRandomWorkload(t *testing.T) {
 }
 
 // TestConsistencyDetectsCorruption proves the checker is not vacuous:
-// a deliberately corrupted TLB entry must be caught.
+// one case per invariant deliberately corrupts the matching piece of
+// translation state (TLB, hash table, VSID map, frame accounting) and
+// asserts the checker fires. Each corruption is undone afterwards so
+// the bootTask end-of-test sweep re-proves the repair.
 func TestConsistencyDetectsCorruption(t *testing.T) {
-	k, task := bootTask(t, clock.PPC604At185(), Unoptimized())
-	k.UserTouchPages(UserDataBase, 4)
-	if err := k.CheckConsistency(); err != nil {
-		t.Fatalf("clean state flagged: %v", err)
+	dataVPN := func(task *Task) arch.VPN {
+		return arch.VPNOf(task.Segs[int(UserDataBase>>28)], UserDataBase)
 	}
-	// Forge a TLB entry pointing a live VSID's page at the wrong frame.
-	vpn := arch.VPNOf(task.Segs[int(UserDataBase>>28)], UserDataBase)
-	k.M.MMU.TLB.Insert(vpn, 0x1234, false, false)
-	if err := k.CheckConsistency(); err == nil {
-		t.Fatal("corrupted TLB entry not detected")
+	cases := []struct {
+		name string
+		// corrupt breaks one invariant and returns the repair.
+		corrupt func(t *testing.T, k *Kernel, task *Task) (undo func())
+	}{
+		{
+			// Invariant 1: a TLB entry pointing a live VSID's page at
+			// the wrong frame.
+			name: "tlb-wrong-frame",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				vpn := dataVPN(task)
+				k.M.MMU.TLB.Insert(vpn, 0x1234, false, false)
+				return func() { k.M.MMU.TLB.InvalidateVPN(vpn) }
+			},
+		},
+		{
+			// Invariant 2: a live hash-table PTE rewritten to the wrong
+			// frame.
+			name: "htab-wrong-frame",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				pte, _, _ := k.M.MMU.HTAB.Search(dataVPN(task), k.M)
+				if pte == nil {
+					t.Fatal("setup: data page has no hash-table PTE")
+				}
+				old := pte.RPN
+				pte.RPN = old ^ 0x3ff
+				return func() { pte.RPN = old }
+			},
+		},
+		{
+			// Invariant 3: two live tasks sharing a VSID.
+			name: "vsid-aliasing",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				other := k.Fork()
+				old := other.Segs[0]
+				other.Segs[0] = task.Segs[0]
+				return func() { other.Segs[0] = old }
+			},
+		},
+		{
+			// Invariant 4: a live page tree mapping an unallocated frame.
+			name: "frame-free-mapped",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				free := arch.PFN(0)
+				found := false
+				for i := 0; i < k.M.Mem.Frames(); i++ {
+					if !k.M.Mem.InUse(arch.PFN(i)) {
+						free, found = arch.PFN(i), true
+						break
+					}
+				}
+				if !found {
+					t.Fatal("setup: no free frame to forge a mapping to")
+				}
+				ea := UserDataBase + arch.EffectiveAddr(200*arch.PageSize)
+				if _, present := task.PT.Lookup(ea); present {
+					t.Fatalf("setup: %v unexpectedly mapped", ea)
+				}
+				if err := task.PT.Map(ea, free, false); err != nil {
+					t.Fatalf("setup: forging mapping: %v", err)
+				}
+				return func() { task.PT.Unmap(ea) }
+			},
+		},
 	}
-}
-
-// TestConsistencyDetectsVSIDAliasing proves check 3 works.
-func TestConsistencyDetectsVSIDAliasing(t *testing.T) {
-	k, task := bootTask(t, clock.PPC604At185(), Optimized())
-	other := k.Fork()
-	// Force the two tasks to share a VSID.
-	other.Segs[0] = task.Segs[0]
-	if err := k.CheckConsistency(); err == nil {
-		t.Fatal("shared VSID between live tasks not detected")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, task := bootTask(t, clock.PPC604At185(), Unoptimized())
+			k.UserTouchPages(UserDataBase, 4)
+			if err := k.CheckConsistency(); err != nil {
+				t.Fatalf("clean state flagged: %v", err)
+			}
+			undo := tc.corrupt(t, k, task)
+			if err := k.CheckConsistency(); err == nil {
+				t.Fatal("corruption not detected")
+			}
+			undo()
+			if err := k.CheckConsistency(); err != nil {
+				t.Fatalf("undo left corruption behind: %v", err)
+			}
+		})
 	}
 }

@@ -17,11 +17,20 @@ func newTinyCtx(scatter uint32) *vsid.ContextAllocator {
 }
 
 // boot builds a machine+kernel with one task running a small image.
+// Every booted kernel gets an end-of-test consistency sweep: lazy
+// flushing leaves zombie PTEs and unmatchable TLB entries around on
+// purpose, and the sweep proves the coherence invariants survived
+// whatever the test did — including recovered panics.
 func bootTask(t *testing.T, model clock.CPUModel, cfg Config) (*Kernel, *Task) {
 	t.Helper()
 	k := New(machine.New(model), cfg)
 	img := k.LoadImage("test", 8)
 	task := k.Spawn(img)
+	t.Cleanup(func() {
+		if err := k.CheckConsistency(); err != nil {
+			t.Errorf("end-of-test consistency sweep: %v", err)
+		}
+	})
 	return k, task
 }
 

@@ -19,7 +19,13 @@ func small() Config {
 func run(t *testing.T, model clock.CPUModel, kcfg kernel.Config, bcfg Config) Result {
 	t.Helper()
 	k := kernel.New(machine.New(model), kcfg)
-	return Run(k, bcfg)
+	r := Run(k, bcfg)
+	// The build churns through fork/exec/exit and swap; prove the
+	// lazy-flush invariants survived before asserting on the result.
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatalf("post-build consistency sweep: %v", err)
+	}
+	return r
 }
 
 func TestRunCompletes(t *testing.T) {

@@ -11,7 +11,16 @@ import (
 
 func suite(t *testing.T, model clock.CPUModel, cfg kernel.Config) *Suite {
 	t.Helper()
-	return New(kernel.New(machine.New(model), cfg))
+	s := New(kernel.New(machine.New(model), cfg))
+	// Every benchmark kernel gets an end-of-test consistency sweep: the
+	// suite drives the flush/swap/COW paths hard, and the sweep proves
+	// the lazy-flush invariants survived outside the measured windows.
+	t.Cleanup(func() {
+		if err := s.K.CheckConsistency(); err != nil {
+			t.Errorf("end-of-test consistency sweep: %v", err)
+		}
+	})
+	return s
 }
 
 func TestNullSyscallMagnitude(t *testing.T) {

@@ -334,6 +334,11 @@ func RunTable3(iters int) []Row {
 		ctx := r.CtxSwitch(iters)
 		lat := r.PipeLatency(iters / 2)
 		bw := r.PipeBandwidth(1 << 20)
+		// The personalities stress the switch/IPC paths; an invariant
+		// violation here would silently skew every row of the table.
+		if err := r.K.CheckConsistency(); err != nil {
+			panic("oscompare: " + p.Name + ": " + err.Error())
+		}
 		rows = append(rows, Row{
 			Name:     p.Name,
 			NullUS:   null.Micros,

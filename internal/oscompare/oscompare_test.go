@@ -92,4 +92,7 @@ func TestRunnerIPCCrossingsCounted(t *testing.T) {
 	if res.Counters.CtxSwitches < 10*(4*2+2) {
 		t.Fatalf("pipe IPC switches = %d, want >= %d", res.Counters.CtxSwitches, 10*(4*2+2))
 	}
+	if err := r.K.CheckConsistency(); err != nil {
+		t.Fatalf("post-IPC consistency sweep: %v", err)
+	}
 }

@@ -222,6 +222,9 @@ func TestShapeSec7_IdleReclaim(t *testing.T) {
 		before := k.M.Mon.Snapshot()
 		warm(10)
 		d := k.M.Mon.Delta(before)
+		if err := k.CheckConsistency(); err != nil {
+			t.Fatalf("post-churn consistency sweep: %v", err)
+		}
 		return d.EvictRatio()
 	}
 	evOff := churn(false)
@@ -381,6 +384,9 @@ func TestShapeSwapFlush(t *testing.T) {
 		before := k.M.Mon.Snapshot()
 		start := k.M.Led.Now()
 		k.UserTouchPages(kernel.UserDataBase, 8200)
+		if err := k.CheckConsistency(); err != nil {
+			t.Fatalf("post-thrash consistency sweep: %v", err)
+		}
 		return k.M.Led.Now() - start, k.M.Mon.Delta(before).HTABFlushSearches
 	}
 	htabC, htabS := run(true)

@@ -128,6 +128,7 @@ func sec7LatencyProfile(onDemand bool, rounds int) (mean, p99, worst float64, sc
 	mean = sum / float64(len(lat))
 	p99 = lat[len(lat)*99/100]
 	worst = lat[len(lat)-1]
+	mustConsistent(k)
 	return mean, p99, worst, k.M.Mon.OnDemandScans
 }
 
@@ -181,7 +182,9 @@ func runSec10(s Scale) *Table {
 		kcfg.IdleClear = kernel.IdleClearCached
 		kcfg.IdleCacheLock = lock
 		k := kernel.New(machine.New(clock.PPC604At185()), kcfg)
-		return kbuild.Run(k, cfg)
+		r := kbuild.Run(k, cfg)
+		mustConsistent(k)
+		return r
 	}
 	// §10.2 on a switch-heavy loop whose tasks storm the cache, so the
 	// incoming task's state is always cold at the switch.
@@ -209,6 +212,7 @@ func runSec10(s Scale) *Table {
 			inSwitch += k.M.Led.Now() - t0
 			storm()
 		}
+		mustConsistent(k)
 		return k.M.Led.Micros(inSwitch) / float64(2*iters)
 	}
 	// Both §10.1 runs and both §10.2 runs are mutually independent.

@@ -29,6 +29,15 @@ func init() {
 // §5.1 — BAT-mapping the kernel
 // ---------------------------------------------------------------------
 
+// mustConsistent panics when an experiment kernel's translation
+// invariants are violated: a silent violation would skew every row
+// derived from that kernel, so experiments validate before reporting.
+func mustConsistent(k *kernel.Kernel) {
+	if err := k.CheckConsistency(); err != nil {
+		panic("experiment kernel inconsistent: " + err.Error())
+	}
+}
+
 func runSec51(s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(4, 16)
@@ -346,6 +355,7 @@ func runSec7Reclaim(s Scale) *Table {
 		before := k.M.Mon.Snapshot()
 		sec7Churn(k, tasks, img, meas, ws)
 		d := k.M.Mon.Delta(before)
+		mustConsistent(k)
 		return d.EvictRatio(), k.M.MMU.HTAB.Occupancy(),
 			k.M.MMU.HTAB.LiveOccupancy(k.ZombieVSID),
 			d.HTABHitRate(), d.ZombiesReclaimed
@@ -412,6 +422,7 @@ func runSec8(s Scale) *Table {
 		}
 		st := k.M.DCache.Stats()
 		pollution := st.PollutionBy(cache.ClassHashTable) + st.PollutionBy(cache.ClassPageTable)
+		mustConsistent(k)
 		return st.Misses[cache.ClassUser], pollution, k.M.Led.Seconds(k.M.Led.Now() - start)
 	}
 	type s8 struct {

@@ -40,6 +40,7 @@ func runSwapFlush(s Scale) *Table {
 		}
 		d := k.M.Mon.Delta(before)
 		perPage = float64(k.M.Led.Now()-start) / float64(passes*pages)
+		mustConsistent(k)
 		return perPage, d.SwapOuts, d.HTABFlushSearches
 	}
 	type sfRes struct {
@@ -195,6 +196,7 @@ func runHTABSize(s Scale) *Table {
 		churn(rounds / 2)
 		d := k.M.Mon.Delta(before)
 		htab := k.M.MMU.HTAB
+		mustConsistent(k)
 		return d.HTABHitRate(), d.EvictRatio(),
 			float64(htab.Occupancy()) / float64(htab.Capacity()),
 			groups * arch.PTEGSize * arch.PTEBytes / 1024,

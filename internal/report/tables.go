@@ -50,6 +50,7 @@ func runFigure1(Scale) *Table {
 	if pa, ok := m.MMU.Probe(kernel.UserMmapBase, false); ok {
 		rows = append(rows, []string{"example resolved physical address", pa.String()})
 	}
+	mustConsistent(k)
 	return &Table{
 		ID: "figure1", Title: "PowerPC hash-table translation walk-through",
 		Headers: []string{"step", "value"},

@@ -179,6 +179,8 @@ func (c *Cache) LineSize() int { return 1 << c.lineShift }
 func (c *Cache) Stats() *Stats { return &c.stats }
 
 // index splits a physical address into set index and tag.
+//
+//mmutricks:noalloc
 func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
 	lineAddr := uint32(pa) >> c.lineShift
 	return int(lineAddr & c.setMask), lineAddr >> 0
@@ -192,6 +194,7 @@ func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
 // pollution matrix.
 //
 //mmutricks:free hit/miss/castout are returned; the machine layer charges them
+//mmutricks:noalloc
 func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
@@ -215,6 +218,7 @@ func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout 
 // never fills, exactly like a WIMG I=1 access on the real part.
 //
 //mmutricks:free the caller charges the uncached memory latency
+//mmutricks:noalloc
 func (c *Cache) AccessInhibited(class Class) {
 	c.stats.Inhibited[class]++
 }
@@ -224,6 +228,7 @@ func (c *Cache) AccessInhibited(class Class) {
 // make room. It returns whether the access hit.
 //
 //mmutricks:free hit/miss is returned; the machine layer charges it
+//mmutricks:noalloc
 func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
@@ -305,6 +310,8 @@ func (c *Cache) Touch(pa arch.PhysAddr, class Class) {
 
 // fill installs a line, evicting the LRU way if the set is full. It
 // reports whether the victim was dirty (requiring a writeback).
+//
+//mmutricks:noalloc
 func (c *Cache) fill(set int, tag uint32, class Class, write bool) (castout bool) {
 	c.stats.Fills[class]++
 	lines := c.sets[set]

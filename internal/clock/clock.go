@@ -187,6 +187,8 @@ func NewLedger(mhz int) *Ledger {
 }
 
 // Charge adds n cycles to the ledger. Negative charges are rejected.
+//
+//mmutricks:noalloc
 func (l *Ledger) Charge(n Cycles) {
 	l.cycles += n
 	l.pending += n
@@ -197,6 +199,8 @@ func (l *Ledger) Charge(n Cycles) {
 }
 
 // Now returns the cycle count so far.
+//
+//mmutricks:noalloc
 func (l *Ledger) Now() Cycles { return l.cycles }
 
 // MHz returns the clock rate the ledger converts at.

@@ -73,6 +73,8 @@ func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
 // traffic). Inhibited accesses bypass the cache and pay the full memory
 // latency; misses that evict a dirty line pay the castout writeback on
 // top of the fill.
+//
+//mmutricks:noalloc
 func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, write bool) {
 	if inhibited {
 		m.DCache.AccessInhibited(class)
@@ -98,6 +100,8 @@ func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, writ
 // fillCost returns the cycles to service an L1 miss: through the L2
 // when present, straight to memory otherwise. Dirty castouts add a
 // writeback (absorbed by the L2 when there is one).
+//
+//mmutricks:noalloc
 func (m *Machine) fillCost(pa arch.PhysAddr, class cache.Class, castout bool) int {
 	if m.L2 == nil {
 		c := m.Model.MemLatency

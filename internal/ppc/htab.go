@@ -63,10 +63,13 @@ func (h *HTAB) SetInhibited(v bool) { h.inhibited = v }
 
 // EntryAddr returns the physical address of a PTE, so accesses to it
 // can be charged through the cache.
+//
+//mmutricks:noalloc
 func (h *HTAB) EntryAddr(group, slot int) arch.PhysAddr {
 	return h.base + arch.PhysAddr((group*arch.PTEGSize+slot)*arch.PTEBytes)
 }
 
+//mmutricks:noalloc
 func (h *HTAB) touch(bus Bus, group, slot int, write bool) {
 	if bus != nil {
 		bus.MemAccess(h.EntryAddr(group, slot), cache.ClassHashTable, h.inhibited, write)
@@ -77,6 +80,8 @@ func (h *HTAB) touch(bus Bus, group, slot int, write bool) {
 // the primary bucket, then up to eight in the secondary. It returns the
 // matching PTE (nil if absent) and the number of PTE memory accesses
 // performed — up to the 16 the paper cites.
+//
+//mmutricks:noalloc
 func (h *HTAB) Search(vpn arch.VPN, bus Bus) (pte *arch.PTE, primary bool, accesses int) {
 	pg := arch.HashPrimary(vpn, h.groups)
 	for s := range h.buckets[pg] {

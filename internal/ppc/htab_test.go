@@ -14,6 +14,7 @@ type countingBus struct {
 	last      arch.PhysAddr
 }
 
+//mmutricks:noalloc
 func (b *countingBus) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, write bool) {
 	b.n++
 	if inhibited {

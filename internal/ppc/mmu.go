@@ -51,6 +51,8 @@ func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *h
 }
 
 // TLBFor returns the lookaside buffer serving the given access side.
+//
+//mmutricks:noalloc
 func (m *MMU) TLBFor(instr bool) *TLB {
 	if instr {
 		return m.ITLB
@@ -93,6 +95,8 @@ func (m *MMU) Segment(i int) arch.VSID { return m.segs[i] }
 
 // VPNFor computes the virtual page number the current segment registers
 // assign to ea.
+//
+//mmutricks:noalloc
 func (m *MMU) VPNFor(ea arch.EffectiveAddr) arch.VPN {
 	return arch.VPNOf(m.segs[ea.SegIndex()], ea)
 }
@@ -118,6 +122,8 @@ const perPTECost = 7
 // to the ledger. instr selects the instruction-side BATs. A BAT hit and
 // a TLB hit are free (the compares happen in the pipeline); misses cost
 // what the paper measured.
+//
+//mmutricks:noalloc
 func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 	bats := &m.DBAT
 	if instr {

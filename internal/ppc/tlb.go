@@ -47,11 +47,14 @@ func NewTLB(entries, ways int) *TLB {
 // Entries returns the total capacity.
 func (t *TLB) Entries() int { return len(t.sets) * t.ways }
 
+//mmutricks:noalloc
 func (t *TLB) set(vpn arch.VPN) []TLBEntry {
 	return t.sets[vpn.PageIndex()&t.setMask]
 }
 
 // Lookup searches for a translation of vpn.
+//
+//mmutricks:noalloc
 func (t *TLB) Lookup(vpn arch.VPN) (rpn arch.PFN, inhibited, ok bool) {
 	set := t.set(vpn)
 	t.seq++
@@ -67,6 +70,8 @@ func (t *TLB) Lookup(vpn arch.VPN) (rpn arch.PFN, inhibited, ok bool) {
 // Insert installs a translation, evicting the set's LRU entry if full.
 // kernel tags entries translating kernel addresses so the OS footprint
 // (§5.1's 33%-of-slots measurement) can be read off the TLB.
+//
+//mmutricks:noalloc
 func (t *TLB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited, kernel bool) {
 	set := t.set(vpn)
 	t.seq++

@@ -1,7 +1,7 @@
 # The paper-reproduction simulator is pure Go; these targets wrap the
 # toolchain invocations the project treats as canonical.
 
-.PHONY: build test check bench report
+.PHONY: build test lint check bench report
 
 build:
 	go build ./...
@@ -9,8 +9,15 @@ build:
 test:
 	go test ./...
 
-# check is the tier-1 gate: build, vet, gofmt, and the race-enabled
-# test suite. Run it before sending changes.
+# lint runs the mmulint analyzer suite (tools/analyzers): the noalloc,
+# cyclecost, invariantcheck, and registry disciplines, enforced
+# statically. check runs this too; lint alone is the fast iteration
+# loop while annotating.
+lint:
+	go run ./cmd/mmulint ./...
+
+# check is the tier-1 gate: build, vet, gofmt, mmulint, and the
+# race-enabled test suite. Run it before sending changes.
 check:
 	sh scripts/check.sh
 

@@ -20,6 +20,9 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+echo '== go run ./cmd/mmulint ./...'
+go run ./cmd/mmulint ./...
+
 echo '== go test -race ./...'
 go test -race ./...
 

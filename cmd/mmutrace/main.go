@@ -1,0 +1,150 @@
+// Command mmutrace records and analyzes MMU event traces.
+//
+// Usage:
+//
+//	mmutrace record -workload lmbench -cpu 604/185 -config optimized -o trace.json
+//	mmutrace dump -format jsonl trace.json
+//	mmutrace dump -format chrome trace.json > trace.chrome.json   (load in Perfetto)
+//	mmutrace summarize trace.json
+//	mmutrace diff before.json after.json
+//
+// record runs a workload (lmbench, kbuild, or the synthetic stress
+// generators) on a freshly booted simulated machine with the mmtrace
+// ring buffer enabled and saves the capture. summarize prints
+// per-event-class cycle histograms, reconciles the trace totals
+// against the hwmon counter deltas (exiting nonzero on mismatch), and
+// reports hottest pages and TLB-miss inter-arrival times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"mmutricks/internal/report"
+	"mmutricks/internal/tracerec"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mmutrace <record|dump|summarize|diff> [flags]\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "summarize":
+		cmdSummarize(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "lmbench", "workload: lmbench, kbuild, stress")
+		cpu      = fs.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
+		cfg      = fs.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
+		iters    = fs.Int("iters", 100, "workload scale")
+		capacity = fs.Int("capacity", 0, "trace ring capacity in events (0 = default)")
+		j        = fs.Int("j", runtime.GOMAXPROCS(0), "worker-pool size across sections")
+		out      = fs.String("o", "trace.json", "output file")
+	)
+	fs.Parse(args)
+	report.SetParallelism(*j)
+
+	rec, err := tracerec.Record(tracerec.RecordOptions{
+		Workload: *workload,
+		CPU:      *cpu,
+		Config:   *cfg,
+		Iters:    *iters,
+		Capacity: *capacity,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Save(*out); err != nil {
+		fatal(err)
+	}
+	var events, dropped uint64
+	for _, s := range rec.Sections {
+		events += s.Emitted
+		dropped += s.Dropped
+	}
+	fmt.Printf("recorded %s: %d sections, %d events (%d dropped by the ring) -> %s\n",
+		*workload, len(rec.Sections), events, dropped, *out)
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	format := fs.String("format", "jsonl", "output format: jsonl, chrome")
+	fs.Parse(args)
+	rec := load(fs, "dump")
+	var err error
+	switch *format {
+	case "jsonl":
+		err = rec.WriteJSONL(os.Stdout)
+	case "chrome":
+		err = rec.WriteChromeTrace(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown dump format %q (want jsonl or chrome)", *format))
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func cmdSummarize(args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	topN := fs.Int("top", 10, "how many hottest pages to list")
+	fs.Parse(args)
+	rec := load(fs, "summarize")
+	if mismatches := tracerec.Summarize(os.Stdout, rec, *topN); mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "mmutrace: %d reconciliation mismatches\n", mismatches)
+		os.Exit(1)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs exactly two recordings"))
+	}
+	a, err := tracerec.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := tracerec.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	tracerec.Diff(os.Stdout, a, b)
+}
+
+// load reads the single recording argument of a subcommand.
+func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("%s needs exactly one recording file", cmd))
+	}
+	rec, err := tracerec.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	return rec
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mmutrace: %v\n", err)
+	os.Exit(1)
+}

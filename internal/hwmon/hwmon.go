@@ -192,10 +192,12 @@ func (c *Counters) String() string {
 	row("bat-hits", c.BATHits)
 	row("htab-hits", c.HTABHits)
 	row("htab-misses", c.HTABMisses)
+	row("htab-primary-hits", c.HTABPrimaryHits)
 	row("htab-inserts", c.HTABInserts)
 	row("htab-evicts-valid", c.HTABEvictsValid)
 	row("htab-evicts-zombie", c.HTABEvictsZombie)
 	row("htab-free-slot", c.HTABFreeSlot)
+	row("htab-flush-searches", c.HTABFlushSearches)
 	row("sw-reloads", c.SoftwareReloads)
 	row("hw-walks", c.HardwareWalks)
 	row("hashmiss-faults", c.HashMissFaults)
@@ -204,10 +206,19 @@ func (c *Counters) String() string {
 	row("flush-page", c.FlushPage)
 	row("flush-range", c.FlushRange)
 	row("flush-context", c.FlushContext)
+	row("signals", c.Signals)
 	row("syscalls", c.Syscalls)
 	row("ctx-switches", c.CtxSwitches)
+	row("forks", c.Forks)
+	row("execs", c.Execs)
+	row("exits", c.Exits)
+	row("swap-outs", c.SwapOuts)
+	row("swap-ins", c.SwapIns)
+	row("ondemand-scans", c.OnDemandScans)
+	row("idle-polls", c.IdlePolls)
 	row("zombies-reclaimed", c.ZombiesReclaimed)
 	row("idle-pages-cleared", c.IdlePagesCleared)
+	row("cleared-page-hits", c.ClearedPageHits)
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "tlb-miss-rate", 100*c.TLBMissRate())
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "htab-hit-rate", 100*c.HTABHitRate())
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "evict-ratio", 100*c.EvictRatio())

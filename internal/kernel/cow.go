@@ -5,6 +5,7 @@ import (
 
 	"mmutricks/internal/arch"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/pagetable"
 )
 
@@ -84,6 +85,10 @@ func (k *Kernel) forkCOW(parent, child *Task) {
 func (k *Kernel) cowBreak(t *Task, ea arch.EffectiveAddr) {
 	defer k.span(PathFault)()
 	pn := ea.PageNumber()
+	start := k.M.Led.Now()
+	defer func() {
+		k.M.Trc.Emit(mmtrace.KindMinorFault, t.Segs[ea.SegIndex()], ea, k.M.Led.Now()-start, 0)
+	}()
 	k.M.Led.Charge(clock.Cycles(k.M.Model.MissHandlerEntry))
 	k.kexecHandler(textPageFault+0x400, cowFaultInstr)
 	k.M.Mon.MinorFaults++

@@ -6,6 +6,7 @@ import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/ppc"
 )
 
@@ -95,15 +96,21 @@ func (k *Kernel) handleFault(t *Task, ea arch.EffectiveAddr, r ppc.Result, instr
 		panic(fmt.Sprintf("kernel: fault recursion at %v", ea))
 	}
 
+	// The handler events carry the whole software path as their cost
+	// (entry, search, page fault if one nests, insert); the MMU's own
+	// tlb-miss event marks where the miss happened.
+	start := k.M.Led.Now()
 	switch r.Fault {
 	case ppc.FaultTLBMiss:
 		k.M.Mon.SoftwareReloads++
 		k.handlerOverhead()
 		k.reload603(t, ea, r.VPN, instr)
+		k.M.Trc.Emit(mmtrace.KindSoftReload, r.VPN.VSID(), ea, k.M.Led.Now()-start, 0)
 	case ppc.FaultHashMiss:
 		// The MMU already charged the >=91-cycle interrupt cost.
 		k.handlerOverhead()
 		k.reload604(t, ea, r.VPN)
+		k.M.Trc.Emit(mmtrace.KindHashMissFault, r.VPN.VSID(), ea, k.M.Led.Now()-start, 0)
 	default:
 		panic("kernel: unknown fault")
 	}
@@ -201,16 +208,22 @@ func (k *Kernel) kernelLinear(ea arch.EffectiveAddr) (arch.PFN, bool) {
 // search, charging the per-PTE compare cost plus the table's memory
 // traffic. It maintains the same hit counters the 604 hardware does.
 func (k *Kernel) softSearch(vpn arch.VPN) *arch.PTE {
+	start := k.M.Led.Now()
 	pte, primary, accesses := k.M.MMU.HTAB.Search(vpn, k.M)
 	k.M.Led.Charge(clock.Cycles(accesses * softSearchPerPTE))
+	cost := k.M.Led.Now() - start
 	if pte != nil {
 		k.M.Mon.HTABHits++
 		if primary {
 			k.M.Mon.HTABPrimaryHits++
+			k.M.Trc.Emit(mmtrace.KindHTABHitPrimary, vpn.VSID(), 0, cost, 0)
+		} else {
+			k.M.Trc.Emit(mmtrace.KindHTABHitSecondary, vpn.VSID(), 0, cost, 0)
 		}
 		pte.R = true
 	} else {
 		k.M.Mon.HTABMisses++
+		k.M.Trc.Emit(mmtrace.KindHTABMiss, vpn.VSID(), 0, cost, 0)
 	}
 	return pte
 }
@@ -225,19 +238,26 @@ func (k *Kernel) htabInsert(vpn arch.VPN, rpn arch.PFN, inhibited bool) {
 		// we had to occasionally scan the hash table". The unlucky
 		// operation eats a full-table sweep.
 		k.M.Mon.OnDemandScans++
+		scanStart := k.M.Led.Now()
 		_, n := k.M.MMU.HTAB.ReclaimScan(0, k.M.MMU.HTAB.Groups(), k.M, k.zombie)
 		k.M.Mon.ZombiesReclaimed += uint64(n)
+		k.M.Trc.Emit(mmtrace.KindOnDemandScan, vpn.VSID(), 0, k.M.Led.Now()-scanStart, uint32(n))
 	}
+	start := k.M.Led.Now()
 	k.M.Led.Charge(hashInsertInstr)
 	out, _ := k.M.MMU.HTAB.Insert(vpn, rpn, inhibited, k.M, k.zombie)
 	k.M.Mon.HTABInserts++
+	cost := k.M.Led.Now() - start
 	switch out {
 	case ppc.InsertFreeSlot:
 		k.M.Mon.HTABFreeSlot++
+		k.M.Trc.Emit(mmtrace.KindHTABInsertFree, vpn.VSID(), 0, cost, 0)
 	case ppc.InsertEvictLive:
 		k.M.Mon.HTABEvictsValid++
+		k.M.Trc.Emit(mmtrace.KindHTABEvictLive, vpn.VSID(), 0, cost, 0)
 	case ppc.InsertEvictZombie:
 		k.M.Mon.HTABEvictsZombie++
+		k.M.Trc.Emit(mmtrace.KindHTABEvictZombie, vpn.VSID(), 0, cost, 0)
 	}
 }
 
@@ -277,6 +297,7 @@ type pagetableEntry struct {
 // workloads are well-behaved; there is no one to deliver SIGSEGV to).
 func (k *Kernel) pageFault(t *Task, ea arch.EffectiveAddr) {
 	defer k.span(PathFault)()
+	start := k.M.Led.Now()
 	k.kexecHandler(textPageFault, pageFaultInstr)
 	k.kdataDirect(dataVMAs+t.slotOff()%0x1000, 64, false) // vma lookup
 	reg := t.regionFor(ea)
@@ -284,14 +305,17 @@ func (k *Kernel) pageFault(t *Task, ea arch.EffectiveAddr) {
 		panic(fmt.Sprintf("kernel: segfault: task %d at %v", t.PID, ea))
 	}
 	pageIdx := int(ea.PageBase()-reg.Start) / arch.PageSize
+	kind := mmtrace.KindMajorFault
 	switch reg.Kind {
 	case RegionIO:
 		// Device space: shared, cache-inhibited, nothing to allocate.
 		k.M.Mon.MinorFaults++
+		kind = mmtrace.KindMinorFault
 		k.mapPage(t, ea.PageBase(), reg.Backing[pageIdx], true)
 	case RegionText:
 		// File-backed text: the frame is already in the page cache.
 		k.M.Mon.MinorFaults++
+		kind = mmtrace.KindMinorFault
 		k.kdataDirect(dataPageCache, 64, false)
 		k.mapPage(t, ea.PageBase(), reg.Backing[pageIdx], false)
 	default:
@@ -307,6 +331,7 @@ func (k *Kernel) pageFault(t *Task, ea arch.EffectiveAddr) {
 		t.ownFrame(pfn)
 		k.mapPage(t, ea.PageBase(), pfn, false)
 	}
+	k.M.Trc.Emit(kind, t.Segs[ea.SegIndex()], ea, k.M.Led.Now()-start, 0)
 }
 
 // mapPage installs a translation in the task's page tree, charging the

@@ -3,6 +3,7 @@ package kernel
 import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/pagetable"
 )
 
@@ -19,6 +20,7 @@ const (
 func (k *Kernel) flushPage(t *Task, ea arch.EffectiveAddr) {
 	defer k.span(PathFlush)()
 	k.M.Mon.FlushPage++
+	start := k.M.Led.Now()
 	k.kexec(textFlush, flushPageInstr)
 	vpn := arch.VPNOf(t.Segs[ea.SegIndex()], ea)
 	k.M.MMU.InvalidateVPNAll(vpn)
@@ -26,6 +28,7 @@ func (k *Kernel) flushPage(t *Task, ea arch.EffectiveAddr) {
 		_, accesses := k.M.MMU.HTAB.FlushVPN(vpn, k.M)
 		k.M.Mon.HTABFlushSearches += uint64(accesses)
 	}
+	k.M.Trc.Emit(mmtrace.KindFlushPage, vpn.VSID(), ea, k.M.Led.Now()-start, 0)
 }
 
 // flushRange removes the translations for [start, start+pages*4K). The
@@ -37,14 +40,19 @@ func (k *Kernel) flushPage(t *Task, ea arch.EffectiveAddr) {
 func (k *Kernel) flushRange(t *Task, start arch.EffectiveAddr, pages int) {
 	defer k.span(PathFlush)()
 	if k.cfg.FlushRangeCutoff > 0 && pages > k.cfg.FlushRangeCutoff {
+		// The §7 cutoff decision: this range is big enough that a
+		// whole-context flush is cheaper than page-by-page searches.
+		k.M.Trc.Emit(mmtrace.KindFlushCutoff, t.Segs[start.SegIndex()], start, 0, uint32(pages))
 		k.flushContext(t)
 		return
 	}
 	k.M.Mon.FlushRange++
+	begin := k.M.Led.Now()
 	k.kexec(textFlush+0x200, flushRangeInstr)
 	for i := 0; i < pages; i++ {
 		k.flushPage(t, start+arch.EffectiveAddr(i*arch.PageSize))
 	}
+	k.M.Trc.Emit(mmtrace.KindFlushRange, t.Segs[start.SegIndex()], start, k.M.Led.Now()-begin, uint32(pages))
 }
 
 // flushContext removes every translation belonging to t.
@@ -59,6 +67,10 @@ func (k *Kernel) flushRange(t *Task, start arch.EffectiveAddr, pages int) {
 func (k *Kernel) flushContext(t *Task) {
 	defer k.span(PathFlush)()
 	k.M.Mon.FlushContext++
+	// The flushed VSID names the context being destroyed (lazy mode
+	// replaces t.Segs before returning).
+	oldVSID := t.Segs[0]
+	start := k.M.Led.Now()
 	if k.cfg.LazyFlush {
 		k.kexec(textFlush+0x400, flushContextInstr)
 		k.kdata(dataMMContext, 64)
@@ -67,6 +79,7 @@ func (k *Kernel) flushContext(t *Task) {
 		if t == k.cur {
 			k.loadSegments(t)
 		}
+		k.M.Trc.Emit(mmtrace.KindFlushContext, oldVSID, 0, k.M.Led.Now()-start, t.PID)
 		return
 	}
 	k.kexec(textFlush+0x400, flushRangeInstr)
@@ -81,6 +94,7 @@ func (k *Kernel) flushContext(t *Task) {
 		}
 	}
 	k.M.MMU.InvalidateTLBs()
+	k.M.Trc.Emit(mmtrace.KindFlushContext, oldVSID, 0, k.M.Led.Now()-start, t.PID)
 }
 
 // FlushTaskContext flushes every translation of the current task — the

@@ -6,6 +6,7 @@ import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/mmtrace"
 )
 
 // Scheduler and idle-task instruction lengths.
@@ -35,6 +36,12 @@ func (k *Kernel) switchTo(t *Task, charge bool) {
 	if charge {
 		defer k.span(PathSched)()
 		k.M.Mon.CtxSwitches++
+		// The event covers the whole switch (scheduler path, state
+		// save/restore, segment reload) and names the incoming task.
+		start := k.M.Led.Now()
+		defer func() {
+			k.M.Trc.Emit(mmtrace.KindCtxSwitch, t.Segs[0], 0, k.M.Led.Now()-start, t.PID)
+		}()
 		if k.cfg.CachePreload {
 			// §10.2: prefetch the incoming task's state so the fills
 			// overlap the switch path instead of stalling it.
@@ -63,6 +70,7 @@ func (k *Kernel) switchTo(t *Task, charge bool) {
 		k.kdata(dataRunQueue, 64)
 	}
 	k.cur = t
+	k.M.Trc.SetTask(t.PID)
 	k.loadSegments(t)
 	k.loadFBBAT(t)
 	if t.sigPending > 0 {
@@ -101,9 +109,13 @@ func (k *Kernel) RunIdleFor(cycles clock.Cycles) IdleStats {
 
 		if k.cfg.IdleReclaim && k.cfg.LazyFlush && k.usesHTAB() {
 			var n int
+			scanStart := k.M.Led.Now()
 			k.idleScan, n = k.M.MMU.HTAB.ReclaimScan(k.idleScan, idleReclaimGroups, k.M, k.zombie)
 			k.M.Mon.ZombiesReclaimed += uint64(n)
 			st.Reclaimed += uint64(n)
+			if n > 0 {
+				k.M.Trc.Emit(mmtrace.KindIdleReclaim, 0, 0, k.M.Led.Now()-scanStart, uint32(n))
+			}
 		}
 
 		switch k.cfg.IdleClear {
@@ -144,9 +156,13 @@ func (k *Kernel) RunIdleFor(cycles clock.Cycles) IdleStats {
 // cached or cache-inhibited per the experiment variant.
 func (k *Kernel) clearPageIdle(pfn arch.PFN, inhibited bool) {
 	k.M.Mon.IdlePagesCleared++
+	start := k.M.Led.Now()
 	k.kexec(textIdle+0x200, idleClearInstr)
 	line := k.M.LineSize()
 	for off := 0; off < arch.PageSize; off += line {
 		k.M.MemAccess(pfn.Addr()+arch.PhysAddr(off), cache.ClassIdle, inhibited, true)
 	}
+	// EA carries the physical frame address: the page has no virtual
+	// identity yet.
+	k.M.Trc.Emit(mmtrace.KindPageZero, 0, arch.EffectiveAddr(pfn.Addr()), k.M.Led.Now()-start, 0)
 }

@@ -6,6 +6,7 @@ import (
 
 	"mmutricks/internal/arch"
 	"mmutricks/internal/cache"
+	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/pagetable"
 )
 
@@ -46,6 +47,10 @@ type swapSlot int
 func (k *Kernel) swapOut(t *Task, ea arch.EffectiveAddr, pfn arch.PFN) {
 	defer k.span(PathFault)()
 	k.M.Mon.SwapOuts++
+	start := k.M.Led.Now()
+	defer func() {
+		k.M.Trc.Emit(mmtrace.KindSwapOut, t.Segs[ea.SegIndex()], ea, k.M.Led.Now()-start, 0)
+	}()
 	k.kexecHandler(textGetFree+0x200, swapOutInstr)
 	// Read the page for the device write (DMA; the device does not
 	// pollute the cache but the read costs memory time per line).
@@ -73,6 +78,10 @@ func (k *Kernel) swapIn(t *Task, ea arch.EffectiveAddr) arch.PFN {
 		panic(fmt.Sprintf("kernel: swapIn of resident page %v", ea))
 	}
 	k.M.Mon.SwapIns++
+	start := k.M.Led.Now()
+	defer func() {
+		k.M.Trc.Emit(mmtrace.KindSwapIn, t.Segs[ea.SegIndex()], ea, k.M.Led.Now()-start, 0)
+	}()
 	k.kexecHandler(textGetFree+0x400, swapInInstr)
 	k.M.Led.Charge(swapLatencyCycles)
 	delete(k.swapped, key)

@@ -11,6 +11,7 @@ import (
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
 	"mmutricks/internal/hwmon"
+	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/phys"
 	"mmutricks/internal/ppc"
 )
@@ -27,6 +28,9 @@ type Machine struct {
 	L2  *cache.Cache
 	Mem *phys.Memory
 	MMU *ppc.MMU
+	// Trc is the machine's event tracer. Always non-nil, constructed
+	// disabled; enable it (and snapshot Mon) to record a window.
+	Trc *mmtrace.Tracer
 
 	// cacheLocked makes data misses bypass allocation (§10.1's
 	// locked-cache idle task). Toggled by the kernel around idle work.
@@ -38,6 +42,9 @@ type Options struct {
 	// HTABGroups overrides the hash-table size (0 = the architected
 	// default for 32 MB, 2048 groups / 16384 PTEs).
 	HTABGroups int
+	// TraceCapacity overrides the tracer's ring size (0 =
+	// mmtrace.DefaultCapacity).
+	TraceCapacity int
 }
 
 // New builds a machine for the given CPU model with the default 32 MB
@@ -63,8 +70,9 @@ func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
 	if model.L2Size > 0 {
 		m.L2 = cache.New("L2", model.L2Size, 1, model.LineSize)
 	}
+	m.Trc = mmtrace.NewTracer(m.Led, opts.TraceCapacity)
 	htab := ppc.NewHTAB(groups, m.Mem.Layout().HTABBase)
-	m.MMU = ppc.NewMMU(model, htab, m.Led, m, m.Mon)
+	m.MMU = ppc.NewMMU(model, htab, m.Led, m, m.Mon, m.Trc)
 	return m
 }
 
@@ -79,6 +87,7 @@ func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, writ
 	if inhibited {
 		m.DCache.AccessInhibited(class)
 		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), clock.Cycles(m.Model.MemLatency), uint32(class))
 		return
 	}
 	if m.cacheLocked {
@@ -86,6 +95,7 @@ func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, writ
 			m.Led.Charge(1)
 		} else {
 			m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+			m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), clock.Cycles(m.Model.MemLatency), uint32(class))
 		}
 		return
 	}
@@ -94,7 +104,9 @@ func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, writ
 		m.Led.Charge(1)
 		return
 	}
-	m.Led.Charge(clock.Cycles(1 + m.fillCost(pa, class, castout)))
+	fill := clock.Cycles(1 + m.fillCost(pa, class, castout))
+	m.Led.Charge(fill)
+	m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), fill, uint32(class))
 }
 
 // fillCost returns the cycles to service an L1 miss: through the L2
@@ -156,6 +168,7 @@ func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
 	if inhibited {
 		m.ICache.AccessInhibited(class)
 		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), clock.Cycles(m.Model.MemLatency), uint32(class))
 		return
 	}
 	if hit, _ := m.ICache.Access(pa, class, false); hit {
@@ -163,7 +176,9 @@ func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
 		// charge; no extra cycles.
 		return
 	}
-	m.Led.Charge(clock.Cycles(m.fillCost(pa, class, false)))
+	fill := clock.Cycles(m.fillCost(pa, class, false))
+	m.Led.Charge(fill)
+	m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), fill, uint32(class))
 }
 
 // LineSize returns the cache line size for iteration helpers.
@@ -182,4 +197,5 @@ func (m *Machine) Reset() {
 	m.DCache.ResetStats()
 	m.MMU.InvalidateTLBs()
 	*m.Mon = hwmon.Counters{}
+	m.Trc.Reset()
 }

@@ -7,6 +7,7 @@ import (
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
 	"mmutricks/internal/hwmon"
+	"mmutricks/internal/mmtrace"
 )
 
 // The TLB-hit translation path runs once per simulated memory
@@ -36,7 +37,7 @@ func (nopBus) MemAccess(arch.PhysAddr, cache.Class, bool, bool) {}
 func TestTranslateTLBHitZeroAllocs(t *testing.T) {
 	model := clock.PPC604At185()
 	htab := NewHTAB(arch.DefaultHTABGroups, 0x200000)
-	m := NewMMU(model, htab, clock.NewLedger(model.MHz), nopBus{}, &hwmon.Counters{})
+	m := NewMMU(model, htab, clock.NewLedger(model.MHz), nopBus{}, &hwmon.Counters{}, nil)
 	ea := arch.EffectiveAddr(0x1034_5678)
 	vpn := m.VPNFor(ea)
 	m.TLBFor(false).Insert(vpn, 0x99, false, false)
@@ -47,4 +48,91 @@ func TestTranslateTLBHitZeroAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("Translate (TLB hit) allocates %.1f times per op, want 0", n)
 	}
+}
+
+// tracedMMU builds an MMU with a tracer in the given state. A nil
+// *Tracer (no tracer wired at all) is covered by the test above.
+func tracedMMU(model clock.CPUModel, enabled bool) (*MMU, *mmtrace.Tracer) {
+	led := clock.NewLedger(model.MHz)
+	tr := mmtrace.NewTracer(led, 1024)
+	if enabled {
+		tr.Enable()
+	}
+	htab := NewHTAB(arch.DefaultHTABGroups, 0x200000)
+	return NewMMU(model, htab, led, nopBus{}, &hwmon.Counters{}, tr), tr
+}
+
+// The emit path must stay allocation-free through a full Translate on
+// the miss path (where the tracepoints actually fire), enabled or not.
+func TestTranslateTracedZeroAllocs(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		m, _ := tracedMMU(clock.PPC603At133(), enabled)
+		ea := arch.EffectiveAddr(0x1034_5678)
+		vpn := m.VPNFor(ea)
+		m.TLBFor(false).Insert(vpn, 0x99, false, false)
+		missEA := arch.EffectiveAddr(0x2042_0000)
+		if n := testing.AllocsPerRun(100, func() {
+			m.Translate(ea, false)     // hit path
+			m.Translate(missEA, false) // miss path: emits on the 603
+		}); n != 0 {
+			t.Fatalf("traced Translate (enabled=%v) allocates %.1f times per op, want 0", enabled, n)
+		}
+	}
+}
+
+// Tracing is observation only: with the tracer disabled (the default),
+// Translate must charge exactly the same cycles and counters as an
+// MMU with no tracer wired at all — the disabled path is one branch.
+func TestDisabledTracerCostNeutral(t *testing.T) {
+	run := func(m *MMU) (clock.Cycles, hwmon.Counters) {
+		for i := 0; i < 64; i++ {
+			ea := arch.EffectiveAddr(0x1000_0000 + i*arch.PageSize)
+			vpn := m.VPNFor(ea)
+			m.TLBFor(false).Insert(vpn, arch.PFN(0x100+i), false, false)
+			m.Translate(ea, false)                  // hit
+			m.Translate(ea+arch.PageSize*97, false) // miss
+		}
+		return m.led.Now(), *m.mon
+	}
+	for _, model := range []clock.CPUModel{clock.PPC603At133(), clock.PPC604At185()} {
+		bare := NewMMU(model, NewHTAB(arch.DefaultHTABGroups, 0x200000),
+			clock.NewLedger(model.MHz), nopBus{}, &hwmon.Counters{}, nil)
+		traced, _ := tracedMMU(model, false)
+		bareCycles, bareMon := run(bare)
+		tracedCycles, tracedMon := run(traced)
+		if bareCycles != tracedCycles {
+			t.Errorf("%s: disabled tracer changed simulated cycles: %d vs %d",
+				model.Name, bareCycles, tracedCycles)
+		}
+		if bareMon != tracedMon {
+			t.Errorf("%s: disabled tracer changed counters:\n%v\nvs\n%v",
+				model.Name, bareMon.String(), tracedMon.String())
+		}
+	}
+}
+
+func BenchmarkTranslateTLBHit(b *testing.B) {
+	bench := func(b *testing.B, m *MMU) {
+		ea := arch.EffectiveAddr(0x1034_5678)
+		vpn := m.VPNFor(ea)
+		m.TLBFor(false).Insert(vpn, 0x99, false, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Translate(ea, false)
+		}
+	}
+	model := clock.PPC604At185()
+	b.Run("no-tracer", func(b *testing.B) {
+		bench(b, NewMMU(model, NewHTAB(arch.DefaultHTABGroups, 0x200000),
+			clock.NewLedger(model.MHz), nopBus{}, &hwmon.Counters{}, nil))
+	})
+	b.Run("tracer-disabled", func(b *testing.B) {
+		m, _ := tracedMMU(model, false)
+		bench(b, m)
+	})
+	b.Run("tracer-enabled", func(b *testing.B) {
+		m, _ := tracedMMU(model, true)
+		bench(b, m)
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/clock"
 	"mmutricks/internal/hwmon"
+	"mmutricks/internal/mmtrace"
 )
 
 // MMU ties the translation resources together for one CPU. It performs
@@ -27,18 +28,21 @@ type MMU struct {
 	led *clock.Ledger
 	bus Bus
 	mon *hwmon.Counters
+	trc *mmtrace.Tracer
 
 	segs [arch.NumSegments]arch.VSID
 }
 
-// NewMMU builds an MMU for the given CPU model.
-func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *hwmon.Counters) *MMU {
+// NewMMU builds an MMU for the given CPU model. trc may be nil (no
+// tracing).
+func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *hwmon.Counters, trc *mmtrace.Tracer) *MMU {
 	m := &MMU{
 		Model: model,
 		HTAB:  htab,
 		led:   led,
 		bus:   bus,
 		mon:   mon,
+		trc:   trc,
 	}
 	if model.SplitTLB {
 		m.TLB = NewTLB(model.TLBEntries/2, model.TLBWays)
@@ -143,21 +147,32 @@ func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 	if m.Model.Kind == clock.CPU603 {
 		// The 603 interrupts to software immediately; the handler-entry
 		// cost is charged by the kernel's handler, which also decides
-		// what data structure to search (§6).
+		// what data structure to search (§6). The handler's soft-reload
+		// event carries the cost; this one marks the miss itself.
+		m.trc.Emit(mmtrace.KindTLBMiss, vpn.VSID(), ea, 0, 0)
 		return Result{Fault: FaultTLBMiss, VPN: vpn}
 	}
 
 	// 604: hardware hash-table search.
 	m.mon.HardwareWalks++
+	walkStart := m.led.Now()
 	pte, primary, accesses := m.HTAB.Search(vpn, m.bus)
 	m.led.Charge(clock.Cycles(accesses * perPTECost))
 	if pte != nil {
 		m.mon.HTABHits++
+		walkCost := m.led.Now() - walkStart
 		if primary {
 			m.mon.HTABPrimaryHits++
+			m.trc.Emit(mmtrace.KindHTABHitPrimary, vpn.VSID(), ea, walkCost, 0)
+		} else {
+			m.trc.Emit(mmtrace.KindHTABHitSecondary, vpn.VSID(), ea, walkCost, 0)
 		}
+		m.trc.Emit(mmtrace.KindTLBMiss, vpn.VSID(), ea, walkCost, 0)
 		pte.R = true
-		m.TLBFor(instr).Insert(vpn, pte.RPN, pte.CacheInhibited, ea.IsKernel())
+		if m.TLBFor(instr).Insert(vpn, pte.RPN, pte.CacheInhibited, ea.IsKernel()) {
+			m.trc.Emit(mmtrace.KindTLBEvict, vpn.VSID(), ea, 0, 0)
+		}
+		m.trc.Emit(mmtrace.KindTLBInsert, vpn.VSID(), ea, 0, 0)
 		return Result{PA: pte.RPN.Addr() + arch.PhysAddr(ea.Offset()), Inhibited: pte.CacheInhibited}
 	}
 	// Neither bucket matched: hash-table miss interrupt (>= 91 cycles
@@ -165,6 +180,8 @@ func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 	m.mon.HTABMisses++
 	m.mon.HashMissFaults++
 	m.led.Charge(clock.Cycles(m.Model.HashMissInterrupt))
+	m.trc.Emit(mmtrace.KindHTABMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)
+	m.trc.Emit(mmtrace.KindTLBMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)
 	return Result{Fault: FaultHashMiss, VPN: vpn}
 }
 

@@ -13,7 +13,7 @@ func newTestMMU(model clock.CPUModel) (*MMU, *countingBus, *hwmon.Counters, *clo
 	mon := &hwmon.Counters{}
 	led := clock.NewLedger(model.MHz)
 	htab := NewHTAB(arch.DefaultHTABGroups, 0x200000)
-	m := NewMMU(model, htab, led, bus, mon)
+	m := NewMMU(model, htab, led, bus, mon, nil)
 	return m, bus, mon, led
 }
 

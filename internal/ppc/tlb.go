@@ -69,10 +69,12 @@ func (t *TLB) Lookup(vpn arch.VPN) (rpn arch.PFN, inhibited, ok bool) {
 
 // Insert installs a translation, evicting the set's LRU entry if full.
 // kernel tags entries translating kernel addresses so the OS footprint
-// (§5.1's 33%-of-slots measurement) can be read off the TLB.
+// (§5.1's 33%-of-slots measurement) can be read off the TLB. It reports
+// whether a valid entry for a different page was displaced, so the
+// tracer can see TLB pressure.
 //
 //mmutricks:noalloc
-func (t *TLB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited, kernel bool) {
+func (t *TLB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited, kernel bool) (evictedValid bool) {
 	set := t.set(vpn)
 	t.seq++
 	victim := 0
@@ -91,8 +93,10 @@ func (t *TLB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited, kernel bool) {
 			victim = i
 		}
 	}
+	evictedValid = true
 install:
 	set[victim] = TLBEntry{valid: true, vpn: vpn, rpn: rpn, inhibited: inhibited, kernel: kernel, lru: t.seq}
+	return evictedValid
 }
 
 // InvalidateVPN removes a single translation (the tlbie instruction).

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec6.2-nohtab", "sec7-lazy", "sec7-idle-reclaim",
 		"sec7-ondemand", "sec8-ptcache", "sec9-idleclear",
 		"sec10-futures", "tlb-reach", "htab-size", "swap-flush", "profile",
-		"interactions", "mem-hierarchy",
+		"interactions", "mem-hierarchy", "trace-histograms",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

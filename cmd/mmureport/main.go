@@ -94,8 +94,10 @@ func run() int {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
 				failed++
-				continue
 			}
+			// Panicked experiments still render — as a one-cell
+			// FAILED(<reason>) grid — so the output keeps every registry
+			// entry in order even when one degrades.
 			fmt.Println(r.Table.Render())
 		}
 		if failed > 0 {

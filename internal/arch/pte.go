@@ -40,6 +40,8 @@ func (p *PTE) Matches(vpn VPN) bool {
 }
 
 // VPN reconstructs the virtual page number the entry translates.
+//
+//mmutricks:noalloc
 func (p *PTE) VPN() VPN { return VPN(uint64(p.VSID)<<PageIndexBits | uint64(p.API)) }
 
 // String renders the entry for debugging and the htabviz tool.

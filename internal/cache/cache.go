@@ -361,6 +361,48 @@ func (c *Cache) InvalidateAll() {
 // benchmark can warm up and then measure.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// CorruptCleanLine picks an arbitrary valid, clean line — skipping the
+// line holding avoid, so the access in flight is never the victim —
+// and returns its physical address as a parity-fault report. Clean
+// lines only: a flip in a clean line is recoverable by invalidation
+// (memory still has the data); a dirty line would be data loss. The
+// line state itself is untouched — the poison lives in the pending
+// machine-check report, and the repair is InvalidateLine.
+//
+//mmutricks:free a hardware parity flip costs the running program nothing
+//mmutricks:noalloc
+func (c *Cache) CorruptCleanLine(rnd uint64, avoid arch.PhysAddr) (victim arch.PhysAddr, ok bool) {
+	avoidTag := uint32(avoid) >> c.lineShift
+	start := uint32(rnd) & c.setMask
+	for i := 0; i < len(c.sets); i++ {
+		set := c.sets[(start+uint32(i))&c.setMask]
+		for j := range set {
+			if set[j].valid && !set[j].dirty && set[j].tag != avoidTag {
+				return arch.PhysAddr(set[j].tag) << c.lineShift, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// InvalidateLine drops the line holding pa, if resident — the
+// machine-check repair for a cache parity fault. Idempotent; reports
+// whether the line was still there.
+//
+//mmutricks:free the caller (the machine-check handler) charges the repair
+//mmutricks:noalloc
+func (c *Cache) InvalidateLine(pa arch.PhysAddr) bool {
+	set, tag := c.index(pa)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
 // Residency counts resident lines per class — a snapshot of who owns
 // the cache, used by the §9 analysis.
 func (c *Cache) Residency() map[Class]int {

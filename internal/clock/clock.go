@@ -176,6 +176,19 @@ type Ledger struct {
 	mhz     int
 	cycles  Cycles
 	pending Cycles
+	budget  Cycles
+}
+
+// defaultBudget seeds every new ledger's cycle budget; zero (the
+// process default) means unlimited. The report harness sets it so a
+// runaway experiment trips a watchdog instead of hanging the run.
+var defaultBudget atomic.Uint64
+
+// SetDefaultBudget sets the budget NewLedger hands to future ledgers
+// (0 = unlimited) and returns the previous value so callers can
+// restore it.
+func SetDefaultBudget(n Cycles) (old Cycles) {
+	return Cycles(defaultBudget.Swap(uint64(n)))
 }
 
 // NewLedger returns a ledger converting cycles at the given core clock.
@@ -183,7 +196,33 @@ func NewLedger(mhz int) *Ledger {
 	if mhz <= 0 {
 		panic("clock: non-positive MHz")
 	}
-	return &Ledger{mhz: mhz}
+	return &Ledger{mhz: mhz, budget: Cycles(defaultBudget.Load())}
+}
+
+// SetBudget caps this ledger at n cycles (0 = unlimited), overriding
+// the process default it inherited. Exceeding the cap panics with a
+// *BudgetError on the Charge that crosses it.
+func (l *Ledger) SetBudget(n Cycles) { l.budget = n }
+
+// BudgetError is the panic value a ledger raises when a Charge pushes
+// it past its cycle budget. The report harness string-matches Error()
+// to classify the failure, so the message keeps the fixed phrase
+// "cycle budget exceeded".
+type BudgetError struct {
+	// Limit is the budget that was exceeded.
+	Limit Cycles
+	// Spent is the ledger's total at the tripping charge.
+	Spent Cycles
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("clock: cycle budget exceeded: spent %d of %d simulated cycles", e.Spent, e.Limit)
+}
+
+// trip raises the budget watchdog. Kept out of Charge so the hot path
+// stays allocation-free; trip runs at most once per ledger lifetime.
+func (l *Ledger) trip() {
+	panic(&BudgetError{Limit: l.budget, Spent: l.cycles})
 }
 
 // Charge adds n cycles to the ledger. Negative charges are rejected.
@@ -191,6 +230,9 @@ func NewLedger(mhz int) *Ledger {
 //mmutricks:noalloc
 func (l *Ledger) Charge(n Cycles) {
 	l.cycles += n
+	if l.budget != 0 && l.cycles > l.budget {
+		l.trip() //mmutricks:noalloc-ok watchdog: panics once, never returns to the hot path
+	}
 	l.pending += n
 	if l.pending >= meterBatch {
 		meter.Add(uint64(l.pending))

@@ -92,3 +92,47 @@ func TestModelNames(t *testing.T) {
 		}
 	}
 }
+
+// TestBudgetTrips covers the cycle-budget watchdog: an uncapped ledger
+// never trips, a capped one panics with a *BudgetError carrying the
+// fixed phrase the report harness string-matches.
+func TestBudgetTrips(t *testing.T) {
+	l := NewLedger(100)
+	for i := 0; i < 1000; i++ {
+		l.Charge(1000) // no budget: never trips
+	}
+	l.SetBudget(1_000_500)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("capped ledger never tripped")
+		}
+		be, ok := p.(*BudgetError)
+		if !ok {
+			t.Fatalf("panic value %T, want *BudgetError", p)
+		}
+		if !strings.Contains(be.Error(), "cycle budget exceeded") {
+			t.Errorf("BudgetError message %q lost its fixed phrase", be.Error())
+		}
+		if be.Limit != 1_000_500 || be.Spent <= be.Limit {
+			t.Errorf("BudgetError = %+v", be)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		l.Charge(1000)
+	}
+}
+
+// TestDefaultBudgetInheritance checks NewLedger picks up the process
+// default and SetDefaultBudget swaps and returns the old value.
+func TestDefaultBudgetInheritance(t *testing.T) {
+	old := SetDefaultBudget(5000)
+	defer SetDefaultBudget(old)
+	l := NewLedger(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inherited budget never tripped")
+		}
+	}()
+	l.Charge(6000)
+}

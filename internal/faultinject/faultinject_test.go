@@ -1,0 +1,229 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	cases := []Schedule{
+		DefaultSchedule(42),
+		{Seed: 0, RatePPM: 0, Burst: 0},
+		{Seed: 1 << 60, RatePPM: 1000000, Burst: MaxPending, Weights: [NumKinds]uint32{TLBFlip: 7}},
+	}
+	for _, s := range cases {
+		text := s.String()
+		got, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", text, err)
+		}
+		if got != s {
+			t.Fatalf("round trip of %q: got %+v want %+v", text, got, s)
+		}
+	}
+}
+
+func TestParseScheduleForms(t *testing.T) {
+	s, err := ParseSchedule("  seed=0x10 rate=500 burst=2 mix=tlb-flip:3,cache-flip ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 16 || s.RatePPM != 500 || s.Burst != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Weights[TLBFlip] != 3 || s.Weights[CacheFlip] != 1 {
+		t.Fatalf("mix weights %v", s.Weights)
+	}
+	all, err := ParseSchedule("mix=all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if all.Weights[k] != 1 {
+			t.Fatalf("mix=all weight for %s = %d", k, all.Weights[k])
+		}
+	}
+	if _, err := ParseSchedule(""); err != nil {
+		t.Fatalf("empty schedule must parse: %v", err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"seed",                   // not key=value
+		"seed=",                  // empty value
+		"seed=1 seed=2",          // duplicate key
+		"frequency=10",           // unknown key
+		"rate=2000000",           // out of range
+		"burst=17",               // beyond MaxPending
+		"mix=warp-core-breach",   // unknown kind
+		"mix=tlb-flip,tlb-flip",  // duplicate kind
+		"mix=tlb-flip:bananas",   // bad weight
+		"mix=tlb-flip:2000000",   // weight out of range
+		"seed=notanumber",        // bad seed
+		"rate=10ppm extra=field", // unknown key after valid one
+	}
+	for _, text := range bad {
+		if _, err := ParseSchedule(text); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted invalid input", text)
+		}
+	}
+}
+
+func TestFireDeterminism(t *testing.T) {
+	sched := DefaultSchedule(7)
+	sched.RatePPM = 100000
+	a, b := New(sched), New(sched)
+	a.Arm()
+	b.Arm()
+	for i := 0; i < 5000; i++ {
+		na, nb := a.Fire(SiteTranslate), b.Fire(SiteTranslate)
+		if na != nb {
+			t.Fatalf("poll %d: fire counts diverge (%d vs %d)", i, na, nb)
+		}
+		for j := 0; j < na; j++ {
+			ka, oka := a.PickKind(SiteTranslate)
+			kb, okb := b.PickKind(SiteTranslate)
+			if ka != kb || oka != okb {
+				t.Fatalf("poll %d: kinds diverge (%v vs %v)", i, ka, kb)
+			}
+		}
+	}
+}
+
+func TestDisarmedMakesNoDraws(t *testing.T) {
+	sched := DefaultSchedule(3)
+	sched.RatePPM = 500000
+	polled, fresh := New(sched), New(sched)
+	// Poll one injector heavily while disarmed and suspended: if those
+	// polls consumed PRNG state, the later armed sequences would differ.
+	for i := 0; i < 1000; i++ {
+		if polled.Fire(SiteTranslate) != 0 {
+			t.Fatal("disarmed injector fired")
+		}
+	}
+	polled.Arm()
+	polled.Suspend()
+	if polled.Fire(SiteMemAccess) != 0 {
+		t.Fatal("suspended injector fired")
+	}
+	polled.Resume()
+	fresh.Arm()
+	for i := 0; i < 1000; i++ {
+		if polled.Fire(SiteTranslate) != fresh.Fire(SiteTranslate) {
+			t.Fatalf("poll %d: disarmed polling perturbed the stream", i)
+		}
+	}
+}
+
+func TestPickKindHonorsSiteMask(t *testing.T) {
+	sched := DefaultSchedule(11)
+	j := New(sched)
+	j.Arm()
+	for i := 0; i < 2000; i++ {
+		for site := Site(0); site < NumSites; site++ {
+			k, ok := j.PickKind(site)
+			if !ok {
+				t.Fatalf("site %d has no kinds under the default mix", site)
+			}
+			if !siteKinds[site][k] {
+				t.Fatalf("site %d picked foreign kind %v", site, k)
+			}
+		}
+	}
+	// A mix that leaves a site empty must report ok=false.
+	empty := Schedule{Seed: 1, RatePPM: 100, Weights: [NumKinds]uint32{PTEFlip: 1}}
+	je := New(empty)
+	je.Arm()
+	if _, ok := je.PickKind(SiteTranslate); ok {
+		t.Fatal("SiteTranslate picked a kind it does not own")
+	}
+	if k, ok := je.PickKind(SiteAccess); !ok || k != PTEFlip {
+		t.Fatal("SiteAccess should pick pte-flip")
+	}
+}
+
+func TestPendingQueueOrdering(t *testing.T) {
+	j := New(Schedule{Seed: 1})
+	j.Push(Pending{Cause: CauseSpurious})
+	j.Push(Pending{Cause: CauseTLBParity, VPN: 0x10})
+	j.Push(Pending{Cause: CauseSpurious})
+	j.Push(Pending{Cause: CauseHTABECC, VPN: 0x20})
+	// Real causes drain before spurious ones, in order.
+	p1, _ := j.TakeMC()
+	p2, _ := j.TakeMC()
+	if p1.Cause != CauseTLBParity || p2.Cause != CauseHTABECC {
+		t.Fatalf("real causes not delivered first: %v, %v", p1.Cause, p2.Cause)
+	}
+	p3, _ := j.TakeMC()
+	p4, _ := j.TakeMC()
+	if p3.Cause != CauseSpurious || p4.Cause != CauseSpurious {
+		t.Fatalf("spurious causes lost: %v, %v", p3.Cause, p4.Cause)
+	}
+	if _, ok := j.TakeMC(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if j.HasMC() {
+		t.Fatal("HasMC on empty queue")
+	}
+}
+
+func TestPendingQueueOverflow(t *testing.T) {
+	j := New(Schedule{Seed: 1})
+	for i := 0; i < MaxPending; i++ {
+		if j.QueueFull() {
+			t.Fatalf("queue full after %d pushes", i)
+		}
+		j.Push(Pending{Cause: CauseTLBParity})
+	}
+	if !j.QueueFull() {
+		t.Fatal("queue not full at MaxPending")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push past MaxPending must panic")
+		}
+	}()
+	j.Push(Pending{Cause: CauseTLBParity})
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for salt := uint64(0); salt < 64; salt++ {
+		s := DeriveSeed(42, salt)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("salts %d and %d collide on %#x", prev, salt, s)
+		}
+		seen[s] = salt
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different run seeds must derive different streams")
+	}
+}
+
+func TestNilInjectorSafety(t *testing.T) {
+	var j *Injector
+	j.Suspend()
+	j.Resume()
+	if j.Armed() || j.HasMC() {
+		t.Fatal("nil injector reports state")
+	}
+	if _, ok := j.TakeMC(); ok {
+		t.Fatal("nil injector delivered a machine check")
+	}
+}
+
+func TestKindNamesAligned(t *testing.T) {
+	names := KindNames()
+	if len(names) != int(NumKinds) {
+		t.Fatalf("KindNames returned %d names", len(names))
+	}
+	for i, n := range names {
+		if k, ok := KindByName(n); !ok || k != Kind(i) {
+			t.Fatalf("name %q does not round-trip to kind %d", n, i)
+		}
+		if strings.Contains(n, " ") {
+			t.Fatalf("kind name %q contains whitespace (breaks the schedule syntax)", n)
+		}
+	}
+}

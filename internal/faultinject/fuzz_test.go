@@ -1,0 +1,36 @@
+package faultinject
+
+import "testing"
+
+// FuzzParseSchedule drives the schedule parser with arbitrary input.
+// The parser must never panic, and any input it accepts must survive a
+// canonicalization round trip: String() re-parses to the identical
+// schedule (so saved chaos reports can always reproduce their run).
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42 rate=500ppm burst=2 mix=tlb-flip:2,htab-flip:1,cache-flip:1")
+	f.Add("seed=0xDEADBEEF rate=1000000 burst=16 mix=all")
+	f.Add("mix=none")
+	f.Add("rate=200ppm mix=spurious-mc")
+	f.Add("seed=1 seed=2")
+	f.Add("mix=tlb-flip:0")
+	f.Add("burst=17")
+	f.Add("rate=9999999ppm")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, text, err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip unstable: %q -> %+v -> %q -> %+v", text, s, canon, s2)
+		}
+		if s2.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q vs %q", s2.String(), canon)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schedule is a declarative fault schedule: how often faults fire,
+// how many land per trigger, which kinds, and the PRNG seed that makes
+// the whole run reproducible.
+type Schedule struct {
+	// Seed seeds the injector's splitmix64 stream.
+	Seed uint64
+	// RatePPM is the per-poll firing probability in parts per million
+	// (0 disables injection, 1000000 fires every poll).
+	RatePPM uint32
+	// Burst is how many faults land per trigger (clamped to >= 1).
+	Burst int
+	// Weights is the relative kind mix; kinds with weight 0 never
+	// fire. At each site only the kinds the site owns compete.
+	Weights [NumKinds]uint32
+}
+
+// maxWeight keeps the weighted-pick total comfortably inside uint64.
+const maxWeight = 1000000
+
+// DefaultSchedule is a moderate all-kinds mix: every recoverable kind
+// weighted equally, escalation (pte-flip) and spurious delivery rarer.
+func DefaultSchedule(seed uint64) Schedule {
+	s := Schedule{Seed: seed, RatePPM: 200, Burst: 1}
+	for k := Kind(0); k < NumKinds; k++ {
+		s.Weights[k] = 4
+	}
+	s.Weights[PTEFlip] = 1
+	s.Weights[SpuriousMC] = 1
+	return s
+}
+
+// Validate checks the schedule's ranges.
+func (s Schedule) Validate() error {
+	if s.RatePPM > 1000000 {
+		return fmt.Errorf("rate %d ppm out of range [0,1000000]", s.RatePPM)
+	}
+	if s.Burst < 0 || s.Burst > MaxPending {
+		return fmt.Errorf("burst %d out of range [0,%d]", s.Burst, MaxPending)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if s.Weights[k] > maxWeight {
+			return fmt.Errorf("weight %d for %s out of range [0,%d]", s.Weights[k], k, maxWeight)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical one-line form, parseable by
+// ParseSchedule: `seed=N rate=Nppm burst=N mix=kind:w,kind:w`.
+// Zero-weight kinds are omitted; an all-zero mix renders as mix=none.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d rate=%dppm burst=%d mix=", s.Seed, s.RatePPM, s.Burst)
+	n := 0
+	for k := Kind(0); k < NumKinds; k++ {
+		if s.Weights[k] == 0 {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, s.Weights[k])
+		n++
+	}
+	if n == 0 {
+		b.WriteString("none")
+	}
+	return b.String()
+}
+
+// ParseSchedule parses the declarative schedule syntax:
+//
+//	seed=42 rate=500ppm burst=2 mix=tlb-flip:2,htab-flip:1,cache-flip:1
+//
+// Fields are space-separated key=value pairs in any order; all are
+// optional (missing fields keep zero values, i.e. injection disabled
+// unless rate and mix are given). rate accepts an optional "ppm"
+// suffix. mix is a comma list of kind[:weight] (weight defaults to 1),
+// or the shorthands "all" (every kind at weight 1) and "none".
+// Duplicate keys and duplicate kinds in the mix are errors.
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(text) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" || val == "" {
+			return Schedule{}, fmt.Errorf("malformed field %q (want key=value)", field)
+		}
+		if seen[key] {
+			return Schedule{}, fmt.Errorf("duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("seed: %v", err)
+			}
+			s.Seed = n
+		case "rate":
+			n, err := strconv.ParseUint(strings.TrimSuffix(val, "ppm"), 10, 32)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("rate: %v", err)
+			}
+			s.RatePPM = uint32(n)
+		case "burst":
+			n, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("burst: %v", err)
+			}
+			s.Burst = int(n)
+		case "mix":
+			if err := parseMix(val, &s.Weights); err != nil {
+				return Schedule{}, err
+			}
+		default:
+			return Schedule{}, fmt.Errorf("unknown key %q (want seed, rate, burst, mix)", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+func parseMix(val string, w *[NumKinds]uint32) error {
+	switch val {
+	case "none":
+		return nil
+	case "all":
+		for k := Kind(0); k < NumKinds; k++ {
+			w[k] = 1
+		}
+		return nil
+	}
+	seen := [NumKinds]bool{}
+	for _, part := range strings.Split(val, ",") {
+		name, weight, hasW := strings.Cut(part, ":")
+		k, ok := KindByName(name)
+		if !ok {
+			return fmt.Errorf("mix: unknown fault kind %q (want one of %s)", name, strings.Join(kindNames[:], ", "))
+		}
+		if seen[k] {
+			return fmt.Errorf("mix: duplicate kind %q", name)
+		}
+		seen[k] = true
+		n := uint64(1)
+		if hasW {
+			var err error
+			n, err = strconv.ParseUint(weight, 10, 32)
+			if err != nil {
+				return fmt.Errorf("mix: weight for %s: %v", name, err)
+			}
+		}
+		w[k] = uint32(n)
+	}
+	return nil
+}
+
+// KindNames returns the fault-kind names in Kind order (for CLIs and
+// reports).
+func KindNames() []string {
+	out := make([]string, NumKinds)
+	copy(out, kindNames[:])
+	return out
+}

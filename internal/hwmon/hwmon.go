@@ -73,6 +73,18 @@ type Counters struct {
 	ZombiesReclaimed uint64
 	IdlePagesCleared uint64
 	ClearedPageHits  uint64 // get_free_page served from the cleared list
+
+	// Machine-check handling (the fault-injection recovery loop). Each
+	// delivery increments MachineChecks plus exactly one of the repair,
+	// escalation, or spurious counters, so injected-fault audits are
+	// exact identities.
+	MachineChecks  uint64 // machine-check interrupts taken
+	MCRepairsTLB   uint64 // poisoned TLB entries invalidated
+	MCRepairsHTAB  uint64 // poisoned/resurrected hash-table PTEs invalidated
+	MCRepairsBAT   uint64 // BAT registers reprogrammed from the canonical map
+	MCRepairsCache uint64 // poisoned clean cache lines invalidated
+	MCEscalations  uint64 // unrepairable faults escalated to a task kill
+	MCSpurious     uint64 // deliveries where verification found nothing wrong
 }
 
 // Snapshot returns a copy of the counters.
@@ -113,6 +125,13 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.ZombiesReclaimed -= since.ZombiesReclaimed
 	d.IdlePagesCleared -= since.IdlePagesCleared
 	d.ClearedPageHits -= since.ClearedPageHits
+	d.MachineChecks -= since.MachineChecks
+	d.MCRepairsTLB -= since.MCRepairsTLB
+	d.MCRepairsHTAB -= since.MCRepairsHTAB
+	d.MCRepairsBAT -= since.MCRepairsBAT
+	d.MCRepairsCache -= since.MCRepairsCache
+	d.MCEscalations -= since.MCEscalations
+	d.MCSpurious -= since.MCSpurious
 	return d
 }
 
@@ -152,6 +171,13 @@ func (c *Counters) Add(o Counters) {
 	c.ZombiesReclaimed += o.ZombiesReclaimed
 	c.IdlePagesCleared += o.IdlePagesCleared
 	c.ClearedPageHits += o.ClearedPageHits
+	c.MachineChecks += o.MachineChecks
+	c.MCRepairsTLB += o.MCRepairsTLB
+	c.MCRepairsHTAB += o.MCRepairsHTAB
+	c.MCRepairsBAT += o.MCRepairsBAT
+	c.MCRepairsCache += o.MCRepairsCache
+	c.MCEscalations += o.MCEscalations
+	c.MCSpurious += o.MCSpurious
 }
 
 // TLBMissRate returns TLB misses / (hits+misses); 0 when idle.
@@ -219,6 +245,13 @@ func (c *Counters) String() string {
 	row("zombies-reclaimed", c.ZombiesReclaimed)
 	row("idle-pages-cleared", c.IdlePagesCleared)
 	row("cleared-page-hits", c.ClearedPageHits)
+	row("machine-checks", c.MachineChecks)
+	row("mc-repairs-tlb", c.MCRepairsTLB)
+	row("mc-repairs-htab", c.MCRepairsHTAB)
+	row("mc-repairs-bat", c.MCRepairsBAT)
+	row("mc-repairs-cache", c.MCRepairsCache)
+	row("mc-escalations", c.MCEscalations)
+	row("mc-spurious", c.MCSpurious)
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "tlb-miss-rate", 100*c.TLBMissRate())
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "htab-hit-rate", 100*c.HTABHitRate())
 	fmt.Fprintf(&b, "%-22s %11.2f%%\n", "evict-ratio", 100*c.EvictRatio())

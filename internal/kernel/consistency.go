@@ -7,6 +7,79 @@ import (
 	"mmutricks/internal/pagetable"
 )
 
+// vsidOwner records which live task (and which of its segments) a VSID
+// belongs to.
+type vsidOwner struct {
+	t   *Task
+	seg int
+}
+
+// resolver answers "what is the canonical translation of this VPN?"
+// questions against the kernel's authoritative structures (the live
+// tasks' page trees and the kernel linear/I-O maps). It is the shared
+// classification core of CheckConsistency and the machine-check
+// handler: both need to decide whether a cached translation agrees
+// with what the software structures say it should be.
+type resolver struct {
+	k           *Kernel
+	live        map[arch.VSID]vsidOwner
+	kernelVSIDs map[arch.VSID]int
+}
+
+// newResolver indexes the live VSIDs. It fails if two live contexts
+// share a VSID (invariant 3).
+func (k *Kernel) newResolver() (*resolver, error) {
+	r := &resolver{
+		k:           k,
+		live:        make(map[arch.VSID]vsidOwner),
+		kernelVSIDs: make(map[arch.VSID]int),
+	}
+	for _, t := range k.tasks {
+		if t.State == TaskZombie {
+			continue
+		}
+		for seg := 0; seg < 12; seg++ {
+			v := t.Segs[seg]
+			if prev, dup := r.live[v]; dup && prev.t != t {
+				return nil, fmt.Errorf("VSID %#x shared by live tasks %d and %d", v, prev.t.PID, t.PID)
+			}
+			r.live[v] = vsidOwner{t, seg}
+		}
+	}
+	for seg := 12; seg < 16; seg++ {
+		r.kernelVSIDs[k.M.MMU.Segment(seg)] = seg
+	}
+	return r, nil
+}
+
+// canonicalFrame returns the authoritative frame for a VPN under its
+// owner, and whether one exists. VPNs belonging to no live context
+// (zombies, stale contexts) are exempt: ok is false with no error.
+func (r *resolver) canonicalFrame(vpn arch.VPN) (arch.PFN, bool, error) {
+	v := vpn.VSID()
+	if seg, ok := r.kernelVSIDs[v]; ok {
+		ea := arch.EffectiveAddr(uint32(seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
+		if rpn, ok := r.k.ioLinear(ea); ok {
+			return rpn, true, nil
+		}
+		rpn, ok := r.k.kernelLinear(ea)
+		if !ok {
+			return 0, false, fmt.Errorf("kernel VPN %#x outside the linear and I/O maps", vpn)
+		}
+		return rpn, true, nil
+	}
+	o, ok := r.live[v]
+	if !ok {
+		return 0, false, nil // zombie or stale: exempt from checks
+	}
+	ea := arch.EffectiveAddr(uint32(o.seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
+	e, present := o.t.PT.Lookup(ea)
+	if !present {
+		return 0, false, fmt.Errorf("live VSID %#x (task %d) has cached translation for unmapped %v", v, o.t.PID, ea)
+	}
+	return e.RPN, true, nil
+}
+
 // CheckConsistency verifies the translation-coherence invariants that
 // the paper's optimizations must preserve. Lazy flushing deliberately
 // leaves stale-looking state around (zombie PTEs, unmatchable TLB
@@ -22,55 +95,9 @@ import (
 //
 // It returns an error describing the first violation found, or nil.
 func (k *Kernel) CheckConsistency() error {
-	// Build the live-VSID index: VSID -> owning task, plus the kernel's
-	// fixed VSIDs.
-	type owner struct {
-		t   *Task
-		seg int
-	}
-	live := make(map[arch.VSID]owner)
-	for _, t := range k.tasks {
-		if t.State == TaskZombie {
-			continue
-		}
-		for seg := 0; seg < 12; seg++ {
-			v := t.Segs[seg]
-			if prev, dup := live[v]; dup && prev.t != t {
-				return fmt.Errorf("VSID %#x shared by live tasks %d and %d", v, prev.t.PID, t.PID)
-			}
-			live[v] = owner{t, seg}
-		}
-	}
-	kernelVSIDs := make(map[arch.VSID]int)
-	for seg := 12; seg < 16; seg++ {
-		kernelVSIDs[k.M.MMU.Segment(seg)] = seg
-	}
-
-	// canonical returns the authoritative frame for a VPN under its
-	// owner, and whether one exists.
-	canonical := func(vpn arch.VPN) (arch.PFN, bool, error) {
-		v := vpn.VSID()
-		if seg, ok := kernelVSIDs[v]; ok {
-			ea := arch.EffectiveAddr(uint32(seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
-			if rpn, ok := k.ioLinear(ea); ok {
-				return rpn, true, nil
-			}
-			rpn, ok := k.kernelLinear(ea)
-			if !ok {
-				return 0, false, fmt.Errorf("kernel VPN %#x outside the linear and I/O maps", vpn)
-			}
-			return rpn, true, nil
-		}
-		o, ok := live[v]
-		if !ok {
-			return 0, false, nil // zombie or stale: exempt from checks
-		}
-		ea := arch.EffectiveAddr(uint32(o.seg)<<arch.SegmentShift | vpn.PageIndex()<<arch.PageShift)
-		e, present := o.t.PT.Lookup(ea)
-		if !present {
-			return 0, false, fmt.Errorf("live VSID %#x (task %d) has cached translation for unmapped %v", v, o.t.PID, ea)
-		}
-		return e.RPN, true, nil
+	r, err := k.newResolver()
+	if err != nil {
+		return err
 	}
 
 	// 1. TLB agreement (both arrays when split).
@@ -83,7 +110,7 @@ func (k *Kernel) CheckConsistency() error {
 	}
 	for _, tl := range tlbs {
 		for vpn, rpn := range tl.snap {
-			want, ok, err := canonical(vpn)
+			want, ok, err := r.canonicalFrame(vpn)
 			if err != nil {
 				return fmt.Errorf("%s: %w", tl.name, err)
 			}
@@ -96,7 +123,7 @@ func (k *Kernel) CheckConsistency() error {
 	// 2. Hash-table agreement.
 	var htabErr error
 	k.M.MMU.HTAB.ForEachValid(func(vpn arch.VPN, rpn arch.PFN) bool {
-		want, ok, err := canonical(vpn)
+		want, ok, err := r.canonicalFrame(vpn)
 		if err != nil {
 			htabErr = fmt.Errorf("HTAB: %w", err)
 			return false

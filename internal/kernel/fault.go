@@ -95,6 +95,11 @@ func (k *Kernel) handleFault(t *Task, ea arch.EffectiveAddr, r ppc.Result, instr
 	if k.faultDepth > 6 {
 		panic(fmt.Sprintf("kernel: fault recursion at %v", ea))
 	}
+	// The reload handlers walk the very structures the injector
+	// corrupts; poisoning them mid-reload would model a second fault
+	// arriving inside the handler, which the hardware holds off.
+	k.M.Inj.Suspend()
+	defer k.M.Inj.Resume()
 
 	// The handler events carry the whole software path as their cost
 	// (entry, search, page fault if one nests, insert); the MMU's own

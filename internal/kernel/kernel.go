@@ -53,6 +53,11 @@ type Kernel struct {
 	// faultDepth guards against unbounded recursion when a reload
 	// handler's own kernel-text fetches miss the TLB.
 	faultDepth int
+
+	// inMC marks that the machine-check handler is running, so the
+	// accesses it performs do not themselves poll the fault injector or
+	// try to deliver nested machine checks.
+	inMC bool
 }
 
 // kernelTextBytes and kernelDataBytes size the kernel image regions.
@@ -168,6 +173,9 @@ func (k *Kernel) access(t *Task, ea arch.EffectiveAddr, instr bool, class cache.
 		k.M.Fetch(pa, class, inhibited)
 	} else {
 		k.M.MemAccess(pa, class, inhibited, write)
+	}
+	if k.M.Inj != nil {
+		k.faultTick(t)
 	}
 }
 

@@ -33,6 +33,7 @@ const (
 	textGetFree   = 0x00016000 // get_free_page and friends
 	textFileIO    = 0x00018000 // read() and the page cache
 	textCopyInOut = 0x0001A000 // copy_to/from_user
+	textMC        = 0x0001C000 // machine-check handler (classify/repair)
 )
 
 // Offsets of kernel data structures within kernel data (which starts

@@ -1,0 +1,357 @@
+package kernel
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/faultinject"
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/machine"
+)
+
+// bootInjected builds a kernel with a fault injector attached. The
+// schedule's rate is zero, so nothing fires on its own: tests apply
+// corruption by hand (through the same mechanisms the injection sites
+// use) and then deliver the machine checks with DrainMachineChecks.
+func bootInjected(t *testing.T, model clock.CPUModel, cfg Config) (*Kernel, *faultinject.Injector) {
+	t.Helper()
+	inj := faultinject.New(faultinject.Schedule{Seed: 12345})
+	k := New(machine.NewWithOptions(model, machine.Options{Injector: inj}), cfg)
+	k.Spawn(k.LoadImage("test", 8))
+	return k, inj
+}
+
+// warmUp establishes TLB, HTAB and cache state to corrupt.
+func warmUp(k *Kernel) {
+	k.UserRun(0, 400)
+	k.UserTouchPages(UserDataBase, 16)
+	k.UserTouch(UserDataBase, 4096)
+}
+
+// TestMCRepairMatrix is the corruption matrix: for every repairable
+// fault kind, corrupt the resource, check that the consistency sweep
+// detects the poison where the invariants can see it, deliver the
+// machine check, and verify the repair counter moved and the post-repair
+// sweep is clean.
+func TestMCRepairMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+		// corrupt applies the fault and pushes its error report,
+		// returning the injected kind and whether the consistency sweep
+		// must detect the poison before repair.
+		corrupt func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool)
+		counter func(c *hwmon.Counters) uint64
+		post    func(t *testing.T, k *Kernel)
+	}{
+		{
+			name: "tlb-flip",
+			cfg:  Unoptimized,
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				victim, ok := k.M.MMU.TLB.CorruptEntry(inj.Rand(), 0)
+				if !ok {
+					t.Fatal("no valid TLB entry to corrupt")
+				}
+				inj.Push(faultinject.Pending{Cause: faultinject.CauseTLBParity, VPN: victim})
+				return faultinject.TLBFlip, true
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCRepairsTLB },
+		},
+		{
+			name: "htab-flip",
+			cfg:  Unoptimized,
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				g, s, victim, ok := k.M.MMU.HTAB.CorruptPTE(inj.Rand(), 0)
+				if !ok {
+					t.Fatal("no valid HTAB PTE to corrupt")
+				}
+				inj.Push(faultinject.Pending{
+					Cause: faultinject.CauseHTABECC,
+					Addr:  k.M.MMU.HTAB.EntryAddr(g, s),
+					VPN:   victim,
+				})
+				return faultinject.HTABFlip, true
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCRepairsHTAB },
+		},
+		{
+			name: "htab-resurrect",
+			cfg:  Unoptimized,
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				// Unmap a touched region: eager flushing invalidates the
+				// HTAB slots in place, leaving stale tags to resurrect.
+				addr := k.SysMmap(8)
+				k.UserTouchPages(addr, 8)
+				k.SysMunmap(addr, 8)
+				g, s, victim, ok := k.M.MMU.HTAB.ResurrectPTE(inj.Rand(), 0)
+				if !ok {
+					t.Fatal("no stale HTAB slot to resurrect")
+				}
+				inj.Push(faultinject.Pending{
+					Cause: faultinject.CauseHTABECC,
+					Addr:  k.M.MMU.HTAB.EntryAddr(g, s),
+					VPN:   victim,
+				})
+				return faultinject.HTABResurrect, true
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCRepairsHTAB },
+		},
+		{
+			name: "bat-flip",
+			cfg: func() Config {
+				cfg := Unoptimized()
+				cfg.KernelBAT = true
+				return cfg
+			},
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				idx, ok := k.M.MMU.DBAT.CorruptPhys(inj.Rand())
+				if !ok {
+					t.Fatal("no valid BAT register to corrupt")
+				}
+				if k.M.MMU.DBAT.Get(idx).Phys == 0 {
+					t.Fatal("corruption did not move the BAT physical base")
+				}
+				inj.Push(faultinject.Pending{Cause: faultinject.CauseBATParity, Addr: arch.PhysAddr(idx)})
+				// The consistency invariants do not cover BAT registers —
+				// detection is the parity report itself.
+				return faultinject.BATFlip, false
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCRepairsBAT },
+			post: func(t *testing.T, k *Kernel) {
+				ibat, dbat := k.canonicalBATs()
+				for i := 0; i < len(dbat); i++ {
+					if k.M.MMU.DBAT.Get(i) != dbat[i] || k.M.MMU.IBAT.Get(i) != ibat[i] {
+						t.Fatalf("BAT %d not restored to canonical contents", i)
+					}
+				}
+			},
+		},
+		{
+			name: "cache-flip",
+			cfg:  Unoptimized,
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				victim, ok := k.M.DCache.CorruptCleanLine(inj.Rand(), 0)
+				if !ok {
+					t.Fatal("no clean D-cache line to corrupt")
+				}
+				inj.Push(faultinject.Pending{Cause: faultinject.CauseCacheParity, Addr: victim})
+				return faultinject.CacheFlip, false
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCRepairsCache },
+		},
+		{
+			name: "spurious-mc",
+			cfg:  Unoptimized,
+			corrupt: func(t *testing.T, k *Kernel, inj *faultinject.Injector) (faultinject.Kind, bool) {
+				inj.Push(faultinject.Pending{Cause: faultinject.CauseSpurious, Addr: 0x1234})
+				return faultinject.SpuriousMC, false
+			},
+			counter: func(c *hwmon.Counters) uint64 { return c.MCSpurious },
+		},
+	}
+
+	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+		for _, tc := range cases {
+			t.Run(model.Name+"/"+tc.name, func(t *testing.T) {
+				k, inj := bootInjected(t, model, tc.cfg())
+				warmUp(k)
+				if err := k.CheckConsistency(); err != nil {
+					t.Fatalf("pre-corruption sweep: %v", err)
+				}
+
+				kind, detectable := tc.corrupt(t, k, inj)
+				inj.NoteApplied(kind)
+				if detectable {
+					if err := k.CheckConsistency(); err == nil {
+						t.Fatalf("%v poison not detected by the consistency sweep", kind)
+					}
+				}
+
+				k.DrainMachineChecks()
+
+				if got := tc.counter(k.M.Mon); got != 1 {
+					t.Fatalf("repair counter = %d, want 1", got)
+				}
+				if k.M.Mon.MachineChecks != 1 {
+					t.Fatalf("MachineChecks = %d, want 1", k.M.Mon.MachineChecks)
+				}
+				if err := k.CheckConsistency(); err != nil {
+					t.Fatalf("post-repair sweep: %v", err)
+				}
+				if tc.post != nil {
+					tc.post(t, k)
+				}
+			})
+		}
+	}
+}
+
+// TestMCEscalateKillsOwner proves the unrepairable path: page-table ECC
+// poison escalates to killing the owning task, after which the system
+// is consistent and the victim is reapable.
+func TestMCEscalateKillsOwner(t *testing.T) {
+	k, inj := bootInjected(t, clock.PPC604At185(), Unoptimized())
+	runner := k.Current()
+	victim := k.Spawn(k.LoadImage("victim", 4))
+	k.Switch(victim)
+	k.UserTouchPages(UserDataBase, 8)
+	k.Switch(runner)
+	warmUp(k)
+
+	ea, ok := victim.PT.PickPresent(inj.Rand(), arch.KernelBase)
+	if !ok {
+		t.Fatal("victim has no present page to corrupt")
+	}
+	pteAddr, ok := victim.PT.CorruptRPN(ea, 1)
+	if !ok {
+		t.Fatal("CorruptRPN failed on a present page")
+	}
+	inj.Push(faultinject.Pending{
+		Cause: faultinject.CausePTEECC,
+		Addr:  pteAddr,
+		PID:   victim.PID,
+		EA:    ea,
+	})
+	inj.NoteApplied(faultinject.PTEFlip)
+
+	k.DrainMachineChecks()
+
+	if k.M.Mon.MCEscalations != 1 {
+		t.Fatalf("MCEscalations = %d, want 1", k.M.Mon.MCEscalations)
+	}
+	if victim.State != TaskZombie {
+		t.Fatal("victim task not killed by escalation")
+	}
+	if k.Current() != runner {
+		t.Fatal("escalation must not disturb the current task")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatalf("post-escalation sweep: %v", err)
+	}
+	k.Wait(victim)
+	if _, ok := k.Task(victim.PID); ok {
+		t.Fatal("killed task not reapable")
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Fatalf("post-reap sweep: %v", err)
+	}
+}
+
+// TestFaultTickSoak arms the injector over a mixed workload and then
+// audits the exact identities the design promises: every applied
+// MC-raising fault produced exactly one machine check, and each cause
+// incremented exactly its own outcome counter.
+func TestFaultTickSoak(t *testing.T) {
+	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+		t.Run(model.Name, func(t *testing.T) {
+			sched := faultinject.DefaultSchedule(99)
+			sched.RatePPM = 20000 // 2% of polls: a dense soak
+			inj := faultinject.New(sched)
+			cfg := Optimized()
+			cfg.KernelBAT = true
+			k := New(machine.NewWithOptions(model, machine.Options{Injector: inj}), cfg)
+			img := k.LoadImage("soak", 8)
+			runner := k.Spawn(img)
+			other := k.Spawn(img)
+			k.Switch(other)
+			k.UserTouchPages(UserDataBase, 8)
+			k.Switch(runner)
+
+			inj.Arm()
+			for i := 0; i < 40; i++ {
+				k.UserRun(i%8, 200)
+				k.UserTouchPages(UserDataBase, 8)
+				addr := k.SysMmap(4)
+				k.UserTouchPages(addr, 4)
+				k.SysMunmap(addr, 4)
+				if o, ok := k.Task(other.PID); ok && o.State == TaskRunnable {
+					k.Switch(o)
+					k.UserTouch(UserDataBase, 256)
+					k.Switch(runner)
+				}
+			}
+			inj.Disarm()
+			k.DrainMachineChecks()
+
+			applied := inj.Applied()
+			c := k.M.Mon
+			idents := []struct {
+				name string
+				got  uint64
+				want uint64
+			}{
+				{"tlb repairs", c.MCRepairsTLB, applied[faultinject.TLBFlip]},
+				{"htab repairs", c.MCRepairsHTAB, applied[faultinject.HTABFlip] + applied[faultinject.HTABResurrect]},
+				{"bat repairs", c.MCRepairsBAT, applied[faultinject.BATFlip]},
+				{"cache repairs", c.MCRepairsCache, applied[faultinject.CacheFlip]},
+				{"escalations", c.MCEscalations, applied[faultinject.PTEFlip]},
+				{"spurious", c.MCSpurious, applied[faultinject.SpuriousMC]},
+			}
+			var raised uint64
+			for _, id := range idents {
+				if id.got != id.want {
+					t.Errorf("%s = %d, want %d (exact identity)", id.name, id.got, id.want)
+				}
+				raised += id.want
+			}
+			if c.MachineChecks != raised {
+				t.Errorf("MachineChecks = %d, want %d (sum of MC-raising applied faults)", c.MachineChecks, raised)
+			}
+			if c.MachineChecks == 0 {
+				t.Error("soak injected no machine checks; raise the rate")
+			}
+			if err := k.CheckConsistency(); err != nil {
+				t.Fatalf("post-soak sweep: %v", err)
+			}
+		})
+	}
+}
+
+// TestInjectorDisabledNeutral proves the zero-injection path changes
+// nothing: a machine with a disarmed injector attached produces the
+// same cycle count and the same hardware counters as a machine without
+// the subsystem at all.
+func TestInjectorDisabledNeutral(t *testing.T) {
+	run := func(m *machine.Machine) (clock.Cycles, hwmon.Counters) {
+		k := New(m, Optimized())
+		k.Spawn(k.LoadImage("neutral", 8))
+		warmUp(k)
+		addr := k.SysMmap(32)
+		k.UserTouchPages(addr, 32)
+		k.SysMunmap(addr, 32)
+		return k.M.Led.Now(), *k.M.Mon
+	}
+	model := clock.PPC603At180()
+	plainCycles, plainCounters := run(machine.New(model))
+	inj := faultinject.New(faultinject.DefaultSchedule(7)) // never armed
+	injCycles, injCounters := run(machine.NewWithOptions(model, machine.Options{Injector: inj}))
+	if plainCycles != injCycles {
+		t.Errorf("disarmed injector changed cycles: %d vs %d", plainCycles, injCycles)
+	}
+	if plainCounters != injCounters {
+		t.Errorf("disarmed injector changed counters:\nplain: %+v\nwith:  %+v", plainCounters, injCounters)
+	}
+	if a := inj.Applied(); a != ([faultinject.NumKinds]uint64{}) {
+		t.Errorf("disarmed injector applied faults: %v", a)
+	}
+}
+
+// TestArmedAccessPathNoAllocs proves the armed injection path allocates
+// nothing: corruption, reporting and skipping all run on fixed arrays.
+func TestArmedAccessPathNoAllocs(t *testing.T) {
+	sched := faultinject.DefaultSchedule(3)
+	sched.RatePPM = 500000 // fire on half of all polls
+	inj := faultinject.New(sched)
+	m := machine.NewWithOptions(clock.PPC604At185(), machine.Options{Injector: inj})
+	inj.Arm()
+	// Warm the line so the access path is pure hit + injection work.
+	m.MemAccess(0x3000, cache.ClassKernelData, false, false)
+	avg := testing.AllocsPerRun(2000, func() {
+		m.MemAccess(0x3000, cache.ClassKernelData, false, false)
+	})
+	if avg != 0 {
+		t.Fatalf("armed MemAccess allocates %.2f objects per call", avg)
+	}
+}

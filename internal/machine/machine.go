@@ -10,6 +10,7 @@ import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/faultinject"
 	"mmutricks/internal/hwmon"
 	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/phys"
@@ -32,6 +33,10 @@ type Machine struct {
 	// disabled; enable it (and snapshot Mon) to record a window.
 	Trc *mmtrace.Tracer
 
+	// Inj is the attached fault injector (nil = no injection; the
+	// injection points reduce to one never-taken branch).
+	Inj *faultinject.Injector
+
 	// cacheLocked makes data misses bypass allocation (§10.1's
 	// locked-cache idle task). Toggled by the kernel around idle work.
 	cacheLocked bool
@@ -45,6 +50,9 @@ type Options struct {
 	// TraceCapacity overrides the tracer's ring size (0 =
 	// mmtrace.DefaultCapacity).
 	TraceCapacity int
+	// Injector attaches a fault injector to the machine and its MMU
+	// (nil = no injection).
+	Injector *faultinject.Injector
 }
 
 // New builds a machine for the given CPU model with the default 32 MB
@@ -73,6 +81,10 @@ func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
 	m.Trc = mmtrace.NewTracer(m.Led, opts.TraceCapacity)
 	htab := ppc.NewHTAB(groups, m.Mem.Layout().HTABBase)
 	m.MMU = ppc.NewMMU(model, htab, m.Led, m, m.Mon, m.Trc)
+	if opts.Injector != nil {
+		m.Inj = opts.Injector
+		m.MMU.SetInjector(opts.Injector)
+	}
 	return m
 }
 
@@ -84,6 +96,9 @@ func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
 //
 //mmutricks:noalloc
 func (m *Machine) MemAccess(pa arch.PhysAddr, class cache.Class, inhibited, write bool) {
+	if m.Inj != nil {
+		m.injectMem(pa)
+	}
 	if inhibited {
 		m.DCache.AccessInhibited(class)
 		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
@@ -131,6 +146,43 @@ func (m *Machine) fillCost(pa arch.PhysAddr, class cache.Class, castout bool) in
 		c += m.Model.L2Latency // the victim lands in the L2
 	}
 	return c
+}
+
+// injectMem is the SiteMemAccess injection point: cache-line parity
+// faults and spurious machine-check delivery.
+//
+//mmutricks:noalloc
+func (m *Machine) injectMem(pa arch.PhysAddr) {
+	n := m.Inj.Fire(faultinject.SiteMemAccess)
+	for i := 0; i < n; i++ {
+		kind, ok := m.Inj.PickKind(faultinject.SiteMemAccess)
+		if !ok {
+			return
+		}
+		switch kind {
+		case faultinject.CacheFlip:
+			if m.Inj.QueueFull() {
+				m.Inj.NoteSkipped(kind)
+				continue
+			}
+			victim, ok := m.DCache.CorruptCleanLine(m.Inj.Rand(), pa)
+			if !ok {
+				m.Inj.NoteSkipped(kind)
+				continue
+			}
+			m.Inj.Push(faultinject.Pending{Cause: faultinject.CauseCacheParity, Addr: victim})
+			m.Inj.NoteApplied(kind)
+		case faultinject.SpuriousMC:
+			if m.Inj.QueueFull() {
+				m.Inj.NoteSkipped(kind)
+				continue
+			}
+			m.Inj.Push(faultinject.Pending{Cause: faultinject.CauseSpurious, Addr: pa})
+			m.Inj.NoteApplied(kind)
+		default:
+			m.Inj.NoteSkipped(kind)
+		}
+	}
 }
 
 // SetCacheLock engages or releases the data-cache lock (§10.1). While

@@ -103,6 +103,26 @@ const (
 	// from memory; cost is the fill latency, EA holds the physical
 	// address, Aux the cache traffic class.
 	KindCacheFill
+	// KindMachineCheck: a machine-check interrupt was delivered. EA
+	// holds the failing physical address the error report carried, Aux
+	// the faultinject.Cause code, cost the handler-entry cost.
+	KindMachineCheck
+	// KindMCRepairTLB / KindMCRepairHTAB / KindMCRepairBAT /
+	// KindMCRepairCache: the handler repaired poisoned state by
+	// invalidating the TLB entry, hash-table slot, or cache line, or by
+	// reprogramming the BATs from the kernel's canonical map. Exactly
+	// one repair/escalate/spurious event follows each KindMachineCheck.
+	KindMCRepairTLB
+	KindMCRepairHTAB
+	KindMCRepairBAT
+	KindMCRepairCache
+	// KindMCEscalate: the fault was not repairable (canonical
+	// page-table memory was poisoned); the owning task was killed. Aux
+	// is the victim PID.
+	KindMCEscalate
+	// KindMCSpurious: classification and a full invariant sweep found
+	// nothing wrong; the delivery was logged and dismissed.
+	KindMCSpurious
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -136,6 +156,13 @@ var kindNames = [NumKinds]string{
 	"swap-out",
 	"swap-in",
 	"cache-fill",
+	"machine-check",
+	"mc-repair-tlb",
+	"mc-repair-htab",
+	"mc-repair-bat",
+	"mc-repair-cache",
+	"mc-escalate",
+	"mc-spurious",
 }
 
 func (k Kind) String() string {

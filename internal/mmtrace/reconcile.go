@@ -51,5 +51,16 @@ func Reconcile(h *[NumKinds]Hist, c *hwmon.Counters) []ReconcileRow {
 		row("page-zero", n(KindPageZero), c.IdlePagesCleared),
 		row("swap-out", n(KindSwapOut), c.SwapOuts),
 		row("swap-in", n(KindSwapIn), c.SwapIns),
+		row("machine-check", n(KindMachineCheck), c.MachineChecks),
+		row("mc-repair-tlb", n(KindMCRepairTLB), c.MCRepairsTLB),
+		row("mc-repair-htab", n(KindMCRepairHTAB), c.MCRepairsHTAB),
+		row("mc-repair-bat", n(KindMCRepairBAT), c.MCRepairsBAT),
+		row("mc-repair-cache", n(KindMCRepairCache), c.MCRepairsCache),
+		row("mc-escalate", n(KindMCEscalate), c.MCEscalations),
+		row("mc-spurious", n(KindMCSpurious), c.MCSpurious),
+		row("mc-outcomes (sum)",
+			n(KindMCRepairTLB)+n(KindMCRepairHTAB)+n(KindMCRepairBAT)+
+				n(KindMCRepairCache)+n(KindMCEscalate)+n(KindMCSpurious),
+			c.MachineChecks),
 	}
 }

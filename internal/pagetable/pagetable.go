@@ -185,6 +185,52 @@ func (t *Table) Walk(ea arch.EffectiveAddr) (e Entry, pgdAddr, pteAddr arch.Phys
 	return e, pgdAddr, pteAddr, e.Present
 }
 
+// PickPresent returns the address of an arbitrary (seeded) present
+// translation below limit — the fault injector's victim selection for
+// page-table ECC faults. The scan starts at a PRNG-chosen directory
+// slot and wraps, so victims spread over the tree deterministically.
+func (t *Table) PickPresent(rnd uint64, limit arch.EffectiveAddr) (arch.EffectiveAddr, bool) {
+	start := int(rnd % EntriesPerPage)
+	for i := 0; i < EntriesPerPage; i++ {
+		di := (start + i) % EntriesPerPage
+		if arch.EffectiveAddr(di)<<DirShift >= limit {
+			continue
+		}
+		p := t.pages[di]
+		if p == nil {
+			continue
+		}
+		for pi := range p.entries {
+			if !p.entries[pi].Present {
+				continue
+			}
+			ea := arch.EffectiveAddr(di)<<DirShift | arch.EffectiveAddr(pi)<<arch.PageShift
+			if ea < limit {
+				return ea, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// CorruptRPN XORs flip into the frame number of the present entry for
+// ea — an ECC fault in page-table memory, applied to the canonical
+// tree itself (which is why the kernel cannot repair it and must
+// escalate). It returns the physical address of the poisoned PTE for
+// the machine-check report.
+func (t *Table) CorruptRPN(ea arch.EffectiveAddr, flip arch.PFN) (pteAddr arch.PhysAddr, ok bool) {
+	p := t.pages[dirIndex(ea)]
+	if p == nil {
+		return 0, false
+	}
+	pi := pteIndex(ea)
+	if !p.entries[pi].Present {
+		return 0, false
+	}
+	p.entries[pi].RPN ^= flip
+	return p.frame.Addr() + arch.PhysAddr(pi*EntryBytes), true
+}
+
 // Count returns the number of present translations.
 func (t *Table) Count() int { return t.count }
 

@@ -3,6 +3,7 @@ package ppc
 import (
 	"mmutricks/internal/arch"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/faultinject"
 	"mmutricks/internal/hwmon"
 	"mmutricks/internal/mmtrace"
 )
@@ -29,6 +30,9 @@ type MMU struct {
 	bus Bus
 	mon *hwmon.Counters
 	trc *mmtrace.Tracer
+	// inj is the attached fault injector; nil (the default) keeps the
+	// injection points to a single never-taken branch.
+	inj *faultinject.Injector
 
 	segs [arch.NumSegments]arch.VSID
 }
@@ -129,6 +133,9 @@ const perPTECost = 7
 //
 //mmutricks:noalloc
 func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
+	if m.inj != nil {
+		m.injectTranslate(ea, instr)
+	}
 	bats := &m.DBAT
 	if instr {
 		bats = &m.IBAT

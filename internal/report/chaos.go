@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+
+	"mmutricks/internal/chaos"
+	"mmutricks/internal/faultinject"
+)
+
+func init() {
+	register(Experiment{ID: "chaos-soak", Title: "fault-injection soak: every injected fault detected and repaired or escalated", Run: runChaosSoak})
+}
+
+// ---------------------------------------------------------------------
+// The robustness story as an experiment: soak every workload under the
+// deterministic fault injector and report, per fault kind, how many
+// corruptions were applied and how the machine-check path disposed of
+// each one. The chaos harness enforces the exact identities (applied ==
+// repaired/escalated, sum == machine checks); this table is their
+// rendered form. A failed audit panics so the runner surfaces it as a
+// FAILED experiment rather than a quietly wrong table.
+// ---------------------------------------------------------------------
+
+func runChaosSoak(s Scale) *Table {
+	rep, err := chaos.Run(chaos.Options{
+		Workload: "all",
+		CPU:      "604/185",
+		Config:   "optimized",
+		Iters:    s.pick(30, 150),
+		Schedule: "seed=42 rate=1000ppm burst=1 mix=all",
+	})
+	if err != nil {
+		panic(fmt.Sprintf("chaos-soak: %v", err))
+	}
+
+	// Aggregate the per-section tallies; the identities audited per
+	// section also hold summed.
+	applied := map[string]uint64{}
+	skipped := map[string]uint64{}
+	var mc, sectionsOK, dirty uint64
+	for _, sec := range rep.Sections {
+		for _, kc := range sec.Injected {
+			applied[kc.Kind] += kc.Applied
+			skipped[kc.Kind] += kc.Skipped
+		}
+		mc += sec.MachineChecks
+		if sec.OK {
+			sectionsOK++
+		}
+		if !sec.Consistent {
+			dirty++
+		}
+	}
+	if !rep.OK {
+		for _, sec := range rep.Sections {
+			if !sec.OK {
+				panic(fmt.Sprintf("chaos-soak: section %s audit failed: %v", sec.Name, sec.Failures))
+			}
+		}
+	}
+
+	disposal := map[faultinject.Kind]string{
+		faultinject.TLBFlip:       "repair: invalidate TLB entry, refetch on next use",
+		faultinject.TLBSpurious:   "benign: lost entry reloads on miss (no MC raised)",
+		faultinject.HTABFlip:      "repair: invalidate HTAB slot + shadow TLB entries",
+		faultinject.HTABResurrect: "repair: invalidate HTAB slot + shadow TLB entries",
+		faultinject.BATFlip:       "repair: rewrite all BATs from canonical config",
+		faultinject.CacheFlip:     "repair: invalidate clean cache line",
+		faultinject.PTEFlip:       "escalate: kill owning task, reap via wait",
+		faultinject.SpuriousMC:    "sweep: full consistency check finds nothing",
+	}
+	var rows [][]string
+	for k := faultinject.Kind(0); k < faultinject.NumKinds; k++ {
+		name := k.String()
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", applied[name]),
+			fmt.Sprintf("%d", skipped[name]),
+			disposal[k],
+		})
+	}
+
+	return &Table{
+		ID: "chaos-soak", Title: "deterministic fault injection across all workloads (604/185, optimized kernel)",
+		Headers: []string{"fault kind", "applied", "skipped", "disposal (audited exactly)"},
+		Rows:    rows,
+		Paper: [][]string{
+			{"(no table — the paper reports no fault-recovery numbers; this experiment guards the kernel/hardware agreement its lazy-flush and HTAB tricks depend on)"},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d/%d sections passed the exact detect→repair audit; %d machine checks delivered; %d dirty post-run sweeps",
+				sectionsOK, len(rep.Sections), mc, dirty),
+			fmt.Sprintf("schedule %q; every section reseeded via DeriveSeed so the table is identical at any -j", rep.Schedule),
+			"skipped counts faults withheld because the pending-MC queue was full (never applied unreported)",
+			"the same soak is available as a CLI artifact: mmuchaos -workload all (see EXPERIMENTS.md)",
+		},
+	}
+}

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec6.2-nohtab", "sec7-lazy", "sec7-idle-reclaim",
 		"sec7-ondemand", "sec8-ptcache", "sec9-idleclear",
 		"sec10-futures", "tlb-reach", "htab-size", "swap-flush", "profile",
-		"interactions", "mem-hierarchy", "trace-histograms",
+		"interactions", "mem-hierarchy", "trace-histograms", "chaos-soak",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
@@ -58,6 +58,26 @@ func TestFigure1(t *testing.T) {
 	}
 	if !strings.Contains(out.Render(), "52-bit virtual address") {
 		t.Fatal("figure1 missing the virtual-address step")
+	}
+}
+
+// TestChaosSoakExperiment runs the robustness experiment at Quick
+// scale: it must produce one row per fault kind and a passing audit
+// note (a failing audit would have panicked inside Run).
+func TestChaosSoakExperiment(t *testing.T) {
+	e, ok := Find("chaos-soak")
+	if !ok {
+		t.Fatal("chaos-soak missing")
+	}
+	tb := e.Run(Quick)
+	if len(tb.Rows) != 8 {
+		t.Fatalf("chaos-soak rows = %d, want one per fault kind (8)", len(tb.Rows))
+	}
+	out := tb.Render()
+	for _, want := range []string{"tlb-flip", "pte-flip", "escalate", "sections passed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
 	}
 }
 

@@ -2,56 +2,30 @@ package report
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mmutricks/internal/clock"
+	"mmutricks/internal/workpool"
 )
 
-// The harness parallelism is a single token pool shared by the
-// experiment-level worker pool (RunAll) and the row-level helper
-// (RowSet): each running experiment holds one token, and RowSet
-// borrows whatever tokens are idle for its rows, running the rest
-// inline. Total concurrency therefore never exceeds the configured -j,
-// whichever level the parallelism comes from.
-var (
-	poolMu sync.Mutex
-	par    = 1
-	tokens chan struct{}
-)
-
-func init() { SetParallelism(runtime.GOMAXPROCS(0)) }
+// The harness parallelism is a single token pool (internal/workpool)
+// shared by the experiment-level worker pool (RunAll), the row-level
+// helper (RowSet) and the chaos soak harness: each running experiment
+// holds one token, and RowSet borrows whatever tokens are idle for its
+// rows, running the rest inline. Total concurrency therefore never
+// exceeds the configured -j, whichever level the parallelism comes
+// from. These wrappers keep the report-facing API in one place.
 
 // SetParallelism sizes the harness worker pool. j < 1 is treated as 1.
 // It must not be called while experiments are running.
-func SetParallelism(j int) {
-	if j < 1 {
-		j = 1
-	}
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	par = j
-	tokens = make(chan struct{}, j)
-	for i := 0; i < j; i++ {
-		tokens <- struct{}{}
-	}
-}
+func SetParallelism(j int) { workpool.SetParallelism(j) }
 
 // Parallelism returns the configured worker count.
-func Parallelism() int {
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	return par
-}
-
-func pool() chan struct{} {
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	return tokens
-}
+func Parallelism() int { return workpool.Parallelism() }
 
 // RowSet runs fn(0..n-1) — the independent machine-configuration rows
 // of one experiment — concurrently on whatever harness tokens are idle,
@@ -60,49 +34,21 @@ func pool() chan struct{} {
 // panic in any row is re-raised on the calling goroutine (annotated
 // with the row's stack), so RunAll's per-experiment isolation still
 // contains it.
-func RowSet(n int, fn func(i int)) {
-	if n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	t := pool()
-	var wg sync.WaitGroup
-	var panicked atomic.Pointer[rowPanic]
-	for i := 0; i < n; i++ {
-		select {
-		case <-t:
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { t <- struct{}{} }()
-				defer func() {
-					if p := recover(); p != nil {
-						panicked.CompareAndSwap(nil, &rowPanic{val: p, stack: debug.Stack()})
-					}
-				}()
-				fn(i)
-			}(i)
-		default:
-			fn(i)
-		}
-	}
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
-		panic(fmt.Sprintf("%v\nrow goroutine stack:\n%s", p.val, p.stack))
-	}
-}
+func RowSet(n int, fn func(i int)) { workpool.RowSet(n, fn) }
 
-type rowPanic struct {
-	val   any
-	stack []byte
-}
+// rowBudgetCycles is the per-ledger watchdog RunAll arms: any single
+// simulated machine charging this many cycles has hung (the largest
+// full-scale experiment rows stay orders of magnitude below it), so
+// the ledger panics and the row degrades to a FAILED(cycle-budget)
+// cell instead of wedging the whole report run.
+const rowBudgetCycles clock.Cycles = 1 << 40
 
 // RunResult is the outcome of one experiment under RunAll.
 type RunResult struct {
 	Experiment Experiment
-	// Table is the rendered result; nil when the experiment panicked.
+	// Table is the rendered result. When the experiment panicked it is
+	// a one-cell FAILED(<reason>) placeholder so the report still
+	// renders every registry entry in order.
 	Table *Table
 	// Err carries a panic (with stack) the runner contained.
 	Err error
@@ -123,6 +69,8 @@ type RunResult struct {
 // experiments still run.
 func RunAll(scale Scale, parallelism int) []RunResult {
 	SetParallelism(parallelism)
+	old := clock.SetDefaultBudget(rowBudgetCycles)
+	defer clock.SetDefaultBudget(old)
 	return runExperiments(All(), scale, parallelism)
 }
 
@@ -162,9 +110,8 @@ func runExperiments(exps []Experiment, scale Scale, parallelism int) []RunResult
 // containing any panic.
 func runOne(e Experiment, scale Scale) (r RunResult) {
 	r.Experiment = e
-	t := pool()
-	<-t
-	defer func() { t <- struct{}{} }()
+	release := workpool.Acquire()
+	defer release()
 	start := time.Now()
 	cyc := clock.MeterNow()
 	defer func() {
@@ -172,9 +119,32 @@ func runOne(e Experiment, scale Scale) (r RunResult) {
 		r.SimCycles = clock.MeterNow() - cyc
 		if p := recover(); p != nil {
 			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
-			r.Table = nil
+			r.Table = failedTable(e, failureReason(p))
 		}
 	}()
 	r.Table = e.Run(scale)
 	return r
+}
+
+// failureReason classifies a contained panic for the FAILED cell.
+// Budget trips arrive either as the *clock.BudgetError itself or — via
+// a RowSet row goroutine — re-raised as a formatted string, so the
+// fixed phrase in BudgetError.Error is matched, not the type.
+func failureReason(p any) string {
+	if strings.Contains(fmt.Sprint(p), "cycle budget exceeded") {
+		return "cycle-budget"
+	}
+	return "panic"
+}
+
+// failedTable is the placeholder a panicking experiment renders as: a
+// one-cell grid so -all output keeps every registry entry, with the
+// full panic carried separately in RunResult.Err.
+func failedTable(e Experiment, reason string) *Table {
+	return &Table{
+		ID: e.ID, Title: e.Title,
+		Headers: []string{"result"},
+		Rows:    [][]string{{fmt.Sprintf("FAILED(%s)", reason)}},
+		Notes:   []string{"the runner contained a failure in this experiment; the panic and stack are in the run's error output"},
+	}
 }

@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/workpool"
 )
 
 func resetPool(t *testing.T) {
@@ -103,14 +106,77 @@ func TestRunnerPanicIsolation(t *testing.T) {
 	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "kaboom-direct") {
 		t.Errorf("boom-direct: want contained panic, got %v", res[0].Err)
 	}
-	if res[0].Table != nil {
-		t.Errorf("boom-direct: want nil table")
+	if res[0].Table == nil || !strings.Contains(res[0].Table.Render(), "FAILED(panic)") {
+		t.Errorf("boom-direct: want FAILED(panic) placeholder table, got %+v", res[0].Table)
 	}
 	if res[1].Err != nil || res[1].Table == nil || res[1].Table.ID != "fine" {
 		t.Errorf("fine experiment damaged by sibling panic: %+v", res[1])
 	}
 	if res[2].Err == nil || !strings.Contains(res[2].Err.Error(), "kaboom-row") {
 		t.Errorf("boom-rowset: want contained row panic, got %v", res[2].Err)
+	}
+	if res[2].Table == nil || !strings.Contains(res[2].Table.Render(), "FAILED(panic)") {
+		t.Errorf("boom-rowset: want FAILED(panic) placeholder table, got %+v", res[2].Table)
+	}
+}
+
+// TestRunnerBudgetDegradation is the watchdog path end to end: an
+// experiment whose ledger blows its cycle budget degrades to a
+// FAILED(cycle-budget) cell — including when the trip happens inside a
+// RowSet row goroutine, where the panic arrives re-raised as a string.
+func TestRunnerBudgetDegradation(t *testing.T) {
+	resetPool(t)
+	burn := func() {
+		l := clock.NewLedger(100)
+		l.SetBudget(1000)
+		for i := 0; i < 100; i++ {
+			l.Charge(100)
+		}
+	}
+	exps := []Experiment{
+		{ID: "burn-direct", Run: func(Scale) *Table { burn(); return nil }},
+		{ID: "burn-rowset", Run: func(Scale) *Table {
+			RowSet(4, func(i int) {
+				if i == 3 {
+					burn()
+				}
+			})
+			return &Table{ID: "burn-rowset"}
+		}},
+		{ID: "frugal", Run: func(Scale) *Table { return &Table{ID: "frugal"} }},
+	}
+	SetParallelism(2)
+	res := runExperiments(exps, Quick, 2)
+	for _, i := range []int{0, 1} {
+		if res[i].Err == nil || !strings.Contains(res[i].Err.Error(), "cycle budget exceeded") {
+			t.Errorf("%s: want budget panic in Err, got %v", res[i].Experiment.ID, res[i].Err)
+		}
+		if res[i].Table == nil || !strings.Contains(res[i].Table.Render(), "FAILED(cycle-budget)") {
+			t.Errorf("%s: want FAILED(cycle-budget) placeholder, got %+v", res[i].Experiment.ID, res[i].Table)
+		}
+	}
+	if res[2].Err != nil || res[2].Table == nil || res[2].Table.ID != "frugal" {
+		t.Errorf("frugal experiment damaged by sibling budget trips: %+v", res[2])
+	}
+}
+
+// TestRunAllArmsDefaultBudget checks RunAll installs the watchdog for
+// ledgers created while it runs, and restores the previous default
+// afterwards.
+func TestRunAllArmsDefaultBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full registry")
+	}
+	resetPool(t)
+	old := clock.SetDefaultBudget(0)
+	defer clock.SetDefaultBudget(old)
+	for _, r := range RunAll(Quick, 4) {
+		if r.Err != nil {
+			t.Fatalf("experiment %s failed under the default budget: %v", r.Experiment.ID, r.Err)
+		}
+	}
+	if got := clock.SetDefaultBudget(0); got != 0 {
+		t.Errorf("RunAll left default budget %d armed", got)
 	}
 }
 
@@ -120,9 +186,8 @@ func TestRunnerPanicIsolation(t *testing.T) {
 func TestRowSetInlineWhenExhausted(t *testing.T) {
 	resetPool(t)
 	SetParallelism(1)
-	tok := pool()
-	<-tok // simulate the experiment itself holding the only token
-	defer func() { tok <- struct{}{} }()
+	release := workpool.Acquire() // simulate the experiment itself holding the only token
+	defer release()
 	done := make([]bool, 16)
 	RowSet(len(done), func(i int) { done[i] = true })
 	for i, d := range done {

@@ -1,0 +1,106 @@
+// Package workpool holds the process-wide harness worker-token pool.
+//
+// Every concurrent harness in the repo — the experiment runner in
+// internal/report and the chaos soak in internal/chaos — draws from
+// this single pool, so total concurrency never exceeds the configured
+// -j no matter which level the parallelism comes from. Callers gather
+// results by index, which keeps output deterministic at any pool size.
+package workpool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	poolMu sync.Mutex
+	par    = 1
+	tokens chan struct{}
+)
+
+func init() { SetParallelism(runtime.GOMAXPROCS(0)) }
+
+// SetParallelism sizes the worker pool. j < 1 is treated as 1. It must
+// not be called while work is running.
+func SetParallelism(j int) {
+	if j < 1 {
+		j = 1
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	par = j
+	tokens = make(chan struct{}, j)
+	for i := 0; i < j; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Parallelism returns the configured worker count.
+func Parallelism() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return par
+}
+
+func pool() chan struct{} {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return tokens
+}
+
+// Acquire blocks for one worker token and returns the function that
+// releases it. The release always returns the token to the channel it
+// was taken from, so a concurrent SetParallelism cannot leak or
+// duplicate tokens.
+func Acquire() (release func()) {
+	t := pool()
+	<-t
+	return func() { t <- struct{}{} }
+}
+
+// RowSet runs fn(0..n-1) — independent rows of one harness unit —
+// concurrently on whatever tokens are idle, running the remainder
+// inline on the calling goroutine. A panic in any row is re-raised on
+// the calling goroutine (annotated with the row's stack), so the
+// caller's own panic containment still works.
+func RowSet(n int, fn func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	t := pool()
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[rowPanic]
+	for i := 0; i < n; i++ {
+		select {
+		case <-t:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { t <- struct{}{} }()
+				defer func() {
+					if p := recover(); p != nil {
+						panicked.CompareAndSwap(nil, &rowPanic{val: p, stack: debug.Stack()})
+					}
+				}()
+				fn(i)
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("%v\nrow goroutine stack:\n%s", p.val, p.stack))
+	}
+}
+
+type rowPanic struct {
+	val   any
+	stack []byte
+}

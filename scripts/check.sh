@@ -1,7 +1,10 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 gate: build, vet, formatting, and the
 # full test suite under the race detector. CI and `make check` both run
-# exactly this script.
+# exactly this script. The test suite includes the fault-injection and
+# chaos-soak audits (internal/faultinject, internal/chaos,
+# internal/kernel machine-check tests), so passing this gate also
+# certifies the machine-check recovery identities.
 set -eu
 
 cd "$(dirname "$0")/.."

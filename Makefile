@@ -1,7 +1,7 @@
 # The paper-reproduction simulator is pure Go; these targets wrap the
 # toolchain invocations the project treats as canonical.
 
-.PHONY: build test lint check bench report
+.PHONY: build test lint prove check bench report
 
 build:
 	go build ./...
@@ -9,15 +9,20 @@ build:
 test:
 	go test ./...
 
-# lint runs the mmulint analyzer suite (tools/analyzers): the noalloc,
-# cyclecost, invariantcheck, and registry disciplines, enforced
-# statically. check runs this too; lint alone is the fast iteration
-# loop while annotating.
+# lint runs the mmulint hygiene suite (tools/analyzers): the cyclecost,
+# invariantcheck, and registry disciplines, enforced statically. check
+# runs this too; lint alone is the fast iteration loop while annotating.
 lint:
 	go run ./cmd/mmulint ./...
 
-# check is the tier-1 gate: build, vet, gofmt, mmulint, and the
-# race-enabled test suite. Run it before sending changes.
+# prove runs the mmuprove whole-program proof passes: transitive
+# noalloc over the call graph, determinism of byte-identical-output
+# packages, and hwmon↔mmtrace parity. check runs this too.
+prove:
+	go run ./cmd/mmuprove ./...
+
+# check is the tier-1 gate: build, vet, gofmt, mmulint, mmuprove, and
+# the race-enabled test suite. Run it before sending changes.
 check:
 	sh scripts/check.sh
 

@@ -1,9 +1,11 @@
-// mmulint is the repo's static-analysis gate: a multichecker running
-// the custom go/analysis-style suite that enforces the simulator's
-// measurement disciplines — allocation-free hot paths (noalloc),
-// cycle-accounting completeness (cyclecost), consistency checking in
-// state-mutating tests and experiments (invariantcheck), and
-// experiment-registration hygiene (registry).
+// mmulint is the repo's structural static-analysis gate: a
+// multichecker enforcing cycle-accounting completeness (cyclecost),
+// consistency checking in state-mutating tests and experiments
+// (invariantcheck), and experiment-registration hygiene (registry).
+// The whole-program proof passes live in its sibling cmd/mmuprove;
+// both tools share one analyzer registry (tools/analyzers/suite), so
+// -run can select any registered pass from either binary and -list
+// shows them all.
 //
 // Usage:
 //
@@ -13,84 +15,8 @@
 // non-empty report exits 1; load/type errors exit 2.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
-
-	"mmutricks/tools/analyzers/analysis"
-	"mmutricks/tools/analyzers/cyclecost"
-	"mmutricks/tools/analyzers/driver"
-	"mmutricks/tools/analyzers/invariantcheck"
-	"mmutricks/tools/analyzers/load"
-	"mmutricks/tools/analyzers/noalloc"
-	"mmutricks/tools/analyzers/registry"
-)
-
-var suite = []*analysis.Analyzer{
-	noalloc.Analyzer,
-	cyclecost.Analyzer,
-	invariantcheck.Analyzer,
-	registry.Analyzer,
-}
+import "mmutricks/tools/analyzers/suite"
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	tests := flag.Bool("tests", true, "analyze _test.go files too")
-	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-	flag.Parse()
-
-	if *list {
-		for _, a := range suite {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	analyzers := suite
-	if *run != "" {
-		byName := map[string]*analysis.Analyzer{}
-		for _, a := range suite {
-			byName[a.Name] = a
-		}
-		analyzers = nil
-		for _, name := range strings.Split(*run, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "mmulint: unknown analyzer %q\n", name)
-				os.Exit(2)
-			}
-			analyzers = append(analyzers, a)
-		}
-	}
-
-	prog, err := load.Load(load.Config{Tests: *tests}, patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmulint: %v\n", err)
-		os.Exit(2)
-	}
-	diags, err := driver.Run(prog, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmulint: %v\n", err)
-		os.Exit(2)
-	}
-	wd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Category, d.Message)
-	}
-	if len(diags) > 0 {
-		os.Exit(1)
-	}
+	suite.Main("mmulint", suite.Lint)
 }

@@ -1,0 +1,21 @@
+// mmuprove runs the repo's whole-program proof passes: transitive
+// //mmutricks:noalloc over the call graph (noalloctrans), determinism
+// of the packages that promise byte-identical output (determinism),
+// and counter↔trace parity between hwmon increments and mmtrace emits
+// (parity). It shares its analyzer registry with cmd/mmulint
+// (tools/analyzers/suite): -list shows every registered pass and -run
+// selects any of them.
+//
+// Usage:
+//
+//	go run ./cmd/mmuprove [-tests=false] [-run name,name] [-list] ./...
+//
+// Diagnostics print vet-style (file:line:col: analyzer: message) and a
+// non-empty report exits 1; load/type errors exit 2.
+package main
+
+import "mmutricks/tools/analyzers/suite"
+
+func main() {
+	suite.Main("mmuprove", suite.Prove)
+}

@@ -1,0 +1,7 @@
+// Package hwmon is a fixture double resolved at the real import path
+// so the parity pass's table applies to it.
+package hwmon
+
+type Counters struct {
+	TLBMisses uint64
+}

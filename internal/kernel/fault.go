@@ -115,7 +115,7 @@ func (k *Kernel) handleFault(t *Task, ea arch.EffectiveAddr, r ppc.Result, instr
 		// The MMU already charged the >=91-cycle interrupt cost.
 		k.handlerOverhead()
 		k.reload604(t, ea, r.VPN)
-		k.M.Trc.Emit(mmtrace.KindHashMissFault, r.VPN.VSID(), ea, k.M.Led.Now()-start, 0)
+		k.M.Trc.Emit(mmtrace.KindHashMissFault, r.VPN.VSID(), ea, k.M.Led.Now()-start, 0) //mmutricks:parity-ok HashMissFaults increments at the raise site, ppc.(*MMU).Translate; the emit waits here for the handler cost
 	default:
 		panic("kernel: unknown fault")
 	}

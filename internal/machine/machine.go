@@ -216,6 +216,8 @@ func (m *Machine) ZeroLine(pa arch.PhysAddr, class cache.Class) {
 
 // Fetch performs one physical instruction-side access (one cache line's
 // worth of instructions) through the I-cache.
+//
+//mmutricks:noalloc
 func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
 	if inhibited {
 		m.ICache.AccessInhibited(class)

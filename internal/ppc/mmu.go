@@ -185,7 +185,7 @@ func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 	// Neither bucket matched: hash-table miss interrupt (>= 91 cycles
 	// just to invoke the handler, §5).
 	m.mon.HTABMisses++
-	m.mon.HashMissFaults++
+	m.mon.HashMissFaults++ //mmutricks:parity-ok the hashmiss-fault event is emitted by kernel.(*Kernel).handleFault once the handler cost is known
 	m.led.Charge(clock.Cycles(m.Model.HashMissInterrupt))
 	m.trc.Emit(mmtrace.KindHTABMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)
 	m.trc.Emit(mmtrace.KindTLBMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)

@@ -111,7 +111,7 @@ func register(e Experiment) {
 // All returns every experiment, sorted by ID.
 func All() []Experiment {
 	var es []Experiment
-	for _, e := range registry {
+	for _, e := range registry { //mmutricks:nondet-ok collection order is erased by the sort on ID below
 		es = append(es, e)
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })

@@ -112,10 +112,10 @@ func runOne(e Experiment, scale Scale) (r RunResult) {
 	r.Experiment = e
 	release := workpool.Acquire()
 	defer release()
-	start := time.Now()
+	start := time.Now() //mmutricks:nondet-ok Wall feeds the bench JSON only, never the report bytes
 	cyc := clock.MeterNow()
 	defer func() {
-		r.Wall = time.Since(start)
+		r.Wall = time.Since(start) //mmutricks:nondet-ok Wall feeds the bench JSON only, never the report bytes
 		r.SimCycles = clock.MeterNow() - cyc
 		if p := recover(); p != nil {
 			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())

@@ -136,7 +136,7 @@ func writeHotPages(w io.Writer, r *Recording, topN int) {
 		n    uint64
 	}
 	ranked := make([]pageCount, 0, len(counts))
-	for pg, n := range counts {
+	for pg, n := range counts { //mmutricks:nondet-ok collection order is erased by the count/page sort below
 		ranked = append(ranked, pageCount{pg, n})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
@@ -199,7 +199,7 @@ func Diff(w io.Writer, a, b *Recording) {
 	agg := func(r *Recording) map[string]mmtrace.Hist {
 		out := map[string]mmtrace.Hist{}
 		for _, s := range r.Sections {
-			for name, h := range s.Hists {
+			for name, h := range s.Hists { //mmutricks:nondet-ok sums are commutative and the printer walks KindNames order
 				t := out[name]
 				t.Count += h.Count
 				t.CostTotal += h.CostTotal

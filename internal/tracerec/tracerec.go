@@ -162,7 +162,7 @@ func (s *Section) hist(name string) mmtrace.Hist { return s.Hists[name] }
 // HistArray rebuilds the dense per-kind array mmtrace.Reconcile wants.
 func (s *Section) HistArray() *[mmtrace.NumKinds]mmtrace.Hist {
 	var h [mmtrace.NumKinds]mmtrace.Hist
-	for name, v := range s.Hists {
+	for name, v := range s.Hists { //mmutricks:nondet-ok each write lands at its fixed kind index; order cannot show
 		if k, ok := mmtrace.KindByName(name); ok {
 			h[k] = v
 		}
@@ -174,7 +174,7 @@ func (s *Section) HistArray() *[mmtrace.NumKinds]mmtrace.Hist {
 // order (stable across runs; map iteration is not).
 func (s *Section) sortedHistNames() []string {
 	names := make([]string, 0, len(s.Hists))
-	for name := range s.Hists {
+	for name := range s.Hists { //mmutricks:nondet-ok collection order is erased by the Kind-order sort below
 		names = append(names, name)
 	}
 	sort.Slice(names, func(i, j int) bool {

@@ -1,7 +1,9 @@
 #!/bin/sh
-# check.sh — the repo's tier-1 gate: build, vet, formatting, and the
-# full test suite under the race detector. CI and `make check` both run
-# exactly this script. The test suite includes the fault-injection and
+# check.sh — the repo's tier-1 gate: build, vet, formatting, the
+# mmulint hygiene suite, the mmuprove whole-program proofs (transitive
+# noalloc, determinism zones, counter↔trace parity), and the full test
+# suite under the race detector. CI and `make check` both run exactly
+# this script. The test suite includes the fault-injection and
 # chaos-soak audits (internal/faultinject, internal/chaos,
 # internal/kernel machine-check tests), so passing this gate also
 # certifies the machine-check recovery identities.
@@ -25,6 +27,9 @@ fi
 
 echo '== go run ./cmd/mmulint ./...'
 go run ./cmd/mmulint ./...
+
+echo '== go run ./cmd/mmuprove ./...'
+go run ./cmd/mmuprove ./...
 
 echo '== go test -race ./...'
 go test -race ./...

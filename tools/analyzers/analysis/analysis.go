@@ -50,6 +50,12 @@ type ModuleIndex interface {
 	// FuncDecl returns the declaration of fn, or nil when fn was not
 	// declared in a loaded module package (stdlib, interface methods).
 	FuncDecl(fn *types.Func) *ast.FuncDecl
+	// FuncSource returns the declaration of fn together with the file
+	// that contains it and the type info of its package, so analyzers
+	// can body-check functions across package boundaries (the file
+	// carries the line waivers, the info the types). All three are nil
+	// when fn was not declared in a loaded module package.
+	FuncSource(fn *types.Func) (*ast.FuncDecl, *ast.File, *types.Info)
 	// InterfaceMethodDoc returns the doc comment group of fn when fn is
 	// an interface method declared in a loaded module package.
 	InterfaceMethodDoc(fn *types.Func) *ast.CommentGroup

@@ -25,9 +25,20 @@
 //	    construct the analyzer would flag (e.g. a cold panic path).
 //	    The reason is mandatory.
 //
+//	//mmutricks:nondet-ok <reason>  (trailing, same line)
+//	    Statement-level waiver inside a determinism-zone package for a
+//	    construct the determinism analyzer would flag (e.g. a map range
+//	    whose results are sorted before rendering, or wall-clock time
+//	    that never reaches the report bytes). The reason is mandatory.
+//
+//	//mmutricks:parity-ok <reason>  (trailing, same line)
+//	    Statement-level waiver for the parity analyzer on a counter
+//	    increment or trace emit whose partner lives in another function
+//	    (the reason must name the remote site). The reason is mandatory.
+//
 // Directives are comment directives in the gofmt sense (no space after
 // //) and must appear in the doc comment block of the declaration they
-// annotate, except noalloc-ok which trails the waived line.
+// annotate, except the *-ok waivers which trail the waived line.
 package annotation
 
 import (
@@ -86,8 +97,8 @@ func ParseDoc(doc *ast.CommentGroup) Set {
 				continue
 			}
 			s.Nocheck, s.NocheckReason = true, rest
-		case "noalloc-ok":
-			s.Malformed = append(s.Malformed, c.Text+" (noalloc-ok is a line waiver, not a declaration annotation)")
+		case "noalloc-ok", "nondet-ok", "parity-ok":
+			s.Malformed = append(s.Malformed, c.Text+" ("+verb+" is a line waiver, not a declaration annotation)")
 		default:
 			s.Malformed = append(s.Malformed, c.Text+" (unknown directive)")
 		}
@@ -107,12 +118,25 @@ func OfFunc(decl *ast.FuncDecl) Set {
 // and returns the set of waived line numbers (with their reasons).
 // Waivers without a reason are returned in malformed, keyed by line.
 func LineWaivers(fset *token.FileSet, f *ast.File) (waived map[int]string, malformed map[int]string) {
+	return Waivers(fset, f, "noalloc-ok")
+}
+
+// Waivers is the generalized line-waiver scan: it collects trailing
+// //mmutricks:<verb> comments (verb is one of the *-ok waiver verbs)
+// and returns the waived line numbers with their reasons. Waivers
+// without a reason are returned in malformed, keyed by line.
+func Waivers(fset *token.FileSet, f *ast.File, verb string) (waived map[int]string, malformed map[int]string) {
 	waived = map[int]string{}
 	malformed = map[int]string{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, prefix+"noalloc-ok")
+			text, ok := strings.CutPrefix(c.Text, prefix+verb)
 			if !ok {
+				continue
+			}
+			// Reject prefix-overlap matches (verb "noalloc" must not
+			// claim a "noalloc-ok" comment).
+			if text != "" && text[0] != ' ' && text[0] != '\t' {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line

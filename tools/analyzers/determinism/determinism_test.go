@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "report", "kbuild")
+}

@@ -1,0 +1,15 @@
+// Package kbuild sits outside the determinism zones: the same
+// constructs draw no diagnostics here.
+package kbuild
+
+import "time"
+
+func outside(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	start := time.Now()
+	_ = time.Since(start)
+	return total
+}

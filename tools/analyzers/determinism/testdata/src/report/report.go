@@ -1,0 +1,63 @@
+// Package report is a determinism-zone fixture (the zone match is by
+// package base name): every divergence source must be flagged, and each
+// has a waived twin showing the escape hatch.
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func renderCounts(m map[string]int) string {
+	var out string
+	for k := range m { // want `ranges over a map in nondeterministic order`
+		out += k
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m { //mmutricks:nondet-ok keys are collected then sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, m[k])
+	}
+	return out
+}
+
+func timings() (time.Duration, time.Duration) {
+	start := time.Now()      // want `calls time.Now: wall-clock time varies across runs`
+	d := time.Since(start)   // want `calls time.Since: wall-clock time varies across runs`
+	ok := time.Now()         //mmutricks:nondet-ok wall time feeds the bench JSON, never the report bytes
+	return time.Since(ok), d //mmutricks:nondet-ok waived twin of the Since above
+}
+
+func shuffle(rows []string) {
+	rand.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] }) // want `calls math/rand.Shuffle on the unseeded global source`
+	r := rand.New(rand.NewSource(42))                                               // ok: explicitly seeded
+	r.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })    // ok: method on the seeded source
+}
+
+func label(p *int) string {
+	bad := fmt.Sprintf("%p", p) //mmutricks:nondet-ok never emitted, debug aid only
+	_ = bad
+	return fmt.Sprintf("row@%p", p) // want `formats a raw pointer with %p`
+}
+
+func gather(n int) []int {
+	out := make([]int, n)
+	var last int
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = i * i // ok: index-stable write
+			last = i       // want `goroutine writes captured last without an index`
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return append(out, last)
+}

@@ -58,11 +58,30 @@ type Program struct {
 	Packages []*Package
 
 	funcDecls map[*types.Func]*ast.FuncDecl
+	funcSrcs  map[*types.Func]funcSource
 	ifaceDocs map[*types.Func]*ast.CommentGroup
+}
+
+// funcSource locates one function declaration in its file and package.
+type funcSource struct {
+	file *ast.File
+	info *types.Info
 }
 
 // FuncDecl implements analysis.ModuleIndex.
 func (p *Program) FuncDecl(fn *types.Func) *ast.FuncDecl { return p.funcDecls[fn] }
+
+// FuncSource implements analysis.ModuleIndex: the declaration of fn
+// plus the enclosing file and the package type info, for cross-package
+// body checks.
+func (p *Program) FuncSource(fn *types.Func) (*ast.FuncDecl, *ast.File, *types.Info) {
+	decl := p.funcDecls[fn]
+	if decl == nil {
+		return nil, nil, nil
+	}
+	src := p.funcSrcs[fn]
+	return decl, src.file, src.info
+}
 
 // InterfaceMethodDoc implements analysis.ModuleIndex.
 func (p *Program) InterfaceMethodDoc(fn *types.Func) *ast.CommentGroup { return p.ifaceDocs[fn] }
@@ -124,6 +143,7 @@ func Load(cfg Config, patterns ...string) (*Program, error) {
 	prog := &Program{
 		Fset:      l.fset,
 		funcDecls: map[*types.Func]*ast.FuncDecl{},
+		funcSrcs:  map[*types.Func]funcSource{},
 		ifaceDocs: map[*types.Func]*ast.CommentGroup{},
 	}
 	for _, path := range paths {
@@ -411,6 +431,7 @@ func indexPackage(prog *Program, pkg *Package) {
 			case *ast.FuncDecl:
 				if fn, ok := pkg.Info.Defs[n.Name].(*types.Func); ok {
 					prog.funcDecls[fn] = n
+					prog.funcSrcs[fn] = funcSource{file: f, info: pkg.Info}
 				}
 			case *ast.InterfaceType:
 				for _, field := range n.Methods.List {

@@ -27,6 +27,12 @@
 // panic calls are exempt: they are cold assertion paths.
 // A construct can be waived on its line with
 // `//mmutricks:noalloc-ok <reason>`.
+//
+// The construct walk is exported as BodyChecker so the call-graph-aware
+// noalloctrans pass (which replaces this analyzer in the default gates)
+// can reuse it across package boundaries; this single-function Analyzer
+// remains registered for -run selection and as the harness for the
+// construct-check fixtures.
 package noalloc
 
 import (
@@ -40,7 +46,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
-	Doc:  "check //mmutricks:noalloc functions for allocating constructs and unverified callees",
+	Doc:  "check //mmutricks:noalloc functions for allocating constructs and unverified callees (single-function ancestor of noalloctrans)",
 	Run:  run,
 }
 
@@ -65,7 +71,7 @@ func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		waived, badWaivers := annotation.LineWaivers(pass.Fset, file)
 		for line := range badWaivers {
-			pass.Reportf(lineStart(pass, file, line), "mmutricks:noalloc-ok waiver requires a reason")
+			pass.Reportf(LineStart(pass.Fset, file, line), "mmutricks:noalloc-ok waiver requires a reason")
 		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -79,52 +85,80 @@ func run(pass *analysis.Pass) error {
 			if !set.Noalloc || fd.Body == nil {
 				continue
 			}
-			(&checker{pass: pass, decl: fd, waived: waived}).check()
+			bc := &BodyChecker{
+				Fset:   pass.Fset,
+				Info:   pass.Info,
+				Module: pass.Module,
+				Report: pass.Reportf,
+				Waived: waived,
+			}
+			bc.Check(fd)
 		}
 	}
-	checkInterfaceImpls(pass)
+	CheckInterfaceImpls(pass)
 	return nil
 }
 
-// lineStart returns a position on the given line for reporting.
-func lineStart(pass *analysis.Pass, file *ast.File, line int) token.Pos {
-	tf := pass.Fset.File(file.Pos())
+// LineStart returns a position on the given line of file for reporting.
+func LineStart(fset *token.FileSet, file *ast.File, line int) token.Pos {
+	tf := fset.File(file.Pos())
 	if tf == nil || line < 1 || line > tf.LineCount() {
 		return file.Pos()
 	}
 	return tf.LineStart(line)
 }
 
-// checker walks one annotated function body.
-type checker struct {
-	pass   *analysis.Pass
-	decl   *ast.FuncDecl
-	waived map[int]string
+// BodyChecker walks one //mmutricks:noalloc function body and reports
+// every allocating construct. It carries explicit file-set/type-info
+// dependencies instead of a Pass so callers (noalloctrans) can check
+// function bodies from other packages than the one under analysis.
+type BodyChecker struct {
+	Fset   *token.FileSet
+	Info   *types.Info
+	Module analysis.ModuleIndex
+	// Report receives the diagnostics that survive line waivers.
+	Report func(pos token.Pos, format string, args ...any)
+	// Waived maps waived line numbers to reasons (annotation.LineWaivers
+	// over the file containing the checked function).
+	Waived map[int]string
+	// OnModuleCallee, when non-nil, replaces the default policy for
+	// statically-resolved callees declared in the module (the default
+	// flags any callee not annotated //mmutricks:noalloc). Interface
+	// calls, stdlib calls, builtins, and dynamic calls keep the default
+	// policy either way.
+	OnModuleCallee func(call *ast.CallExpr, fn *types.Func, decl *ast.FuncDecl)
+
+	decl *ast.FuncDecl
 	// funs marks expressions in call position so method-value detection
 	// can skip them.
 	funs map[ast.Expr]bool
 }
 
-func (c *checker) flag(pos token.Pos, format string, args ...any) {
-	if _, ok := c.waived[c.pass.Fset.Position(pos).Line]; ok {
+func (c *BodyChecker) flag(pos token.Pos, format string, args ...any) {
+	if _, ok := c.Waived[c.Fset.Position(pos).Line]; ok {
 		return
 	}
-	c.pass.Reportf(pos, format, args...)
+	c.Report(pos, format, args...)
 }
 
-func (c *checker) check() {
+// Check walks decl's body.
+func (c *BodyChecker) Check(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	c.decl = decl
 	c.funs = map[ast.Expr]bool{}
-	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			c.funs[call.Fun] = true
 		}
 		return true
 	})
-	c.walk(c.decl.Body)
+	c.walk(decl.Body)
 }
 
 // walk descends the body, skipping the interiors of flagged closures.
-func (c *checker) walk(n ast.Node) {
+func (c *BodyChecker) walk(n ast.Node) {
 	if n == nil {
 		return
 	}
@@ -166,14 +200,14 @@ func (c *checker) walk(n ast.Node) {
 	})
 }
 
-func (c *checker) typeOf(e ast.Expr) types.Type {
-	if tv, ok := c.pass.Info.Types[e]; ok {
+func (c *BodyChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.Info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
 }
 
-func (c *checker) compositeLit(n *ast.CompositeLit) {
+func (c *BodyChecker) compositeLit(n *ast.CompositeLit) {
 	t := c.typeOf(n)
 	if t == nil {
 		return
@@ -186,11 +220,11 @@ func (c *checker) compositeLit(n *ast.CompositeLit) {
 	}
 }
 
-func (c *checker) binary(n *ast.BinaryExpr) {
+func (c *BodyChecker) binary(n *ast.BinaryExpr) {
 	if n.Op != token.ADD {
 		return
 	}
-	tv, ok := c.pass.Info.Types[ast.Expr(n)]
+	tv, ok := c.Info.Types[ast.Expr(n)]
 	if !ok || tv.Value != nil { // constant-folded
 		return
 	}
@@ -202,14 +236,14 @@ func (c *checker) binary(n *ast.BinaryExpr) {
 // call handles conversions, builtins, and function/method calls. It
 // returns false when the walk should not descend into the callee
 // expression (it still descends manually into arguments).
-func (c *checker) call(n *ast.CallExpr) bool {
-	if tv, ok := c.pass.Info.Types[n.Fun]; ok && tv.IsType() {
+func (c *BodyChecker) call(n *ast.CallExpr) bool {
+	if tv, ok := c.Info.Types[n.Fun]; ok && tv.IsType() {
 		c.conversion(n, tv.Type)
 		return true
 	}
 	// Builtins.
 	if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
-		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+		if b, ok := c.Info.Uses[id].(*types.Builtin); ok {
 			if !builtinAllowed[b.Name()] {
 				c.flag(n.Pos(), "builtin %s allocates", b.Name())
 			}
@@ -221,7 +255,7 @@ func (c *checker) call(n *ast.CallExpr) bool {
 			return true
 		}
 	}
-	fn := calleeFunc(c.pass, n.Fun)
+	fn := CalleeFunc(c.Info, n.Fun)
 	if fn == nil {
 		c.flag(n.Pos(), "dynamic call through a function value cannot be verified allocation-free")
 		for _, a := range n.Args {
@@ -231,13 +265,15 @@ func (c *checker) call(n *ast.CallExpr) bool {
 	}
 	c.callArgs(n)
 	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
-		if !annotation.ParseDoc(c.pass.Module.InterfaceMethodDoc(fn)).Noalloc {
+		if !annotation.ParseDoc(c.Module.InterfaceMethodDoc(fn)).Noalloc {
 			c.flag(n.Pos(), "call through interface method %s.%s which is not //mmutricks:noalloc", recvTypeName(recv.Type()), fn.Name())
 		}
 		return true
 	}
-	if decl := c.pass.Module.FuncDecl(fn); decl != nil {
-		if !annotation.OfFunc(decl).Noalloc {
+	if decl := c.Module.FuncDecl(fn); decl != nil {
+		if c.OnModuleCallee != nil {
+			c.OnModuleCallee(n, fn, decl)
+		} else if !annotation.OfFunc(decl).Noalloc {
 			c.flag(n.Pos(), "calls %s which is not //mmutricks:noalloc", fn.Name())
 		}
 		return true
@@ -254,7 +290,7 @@ func (c *checker) call(n *ast.CallExpr) bool {
 	return true
 }
 
-func (c *checker) conversion(n *ast.CallExpr, dst types.Type) {
+func (c *BodyChecker) conversion(n *ast.CallExpr, dst types.Type) {
 	if len(n.Args) != 1 {
 		return
 	}
@@ -281,7 +317,7 @@ func (c *checker) conversion(n *ast.CallExpr, dst types.Type) {
 
 // callArgs checks interface boxing against the callee signature and
 // implicit variadic slice allocation.
-func (c *checker) callArgs(n *ast.CallExpr) {
+func (c *BodyChecker) callArgs(n *ast.CallExpr) {
 	sig, ok := c.typeOf(n.Fun).(*types.Signature)
 	if !ok {
 		return
@@ -312,11 +348,11 @@ func (c *checker) callArgs(n *ast.CallExpr) {
 
 // boxing flags expr when assigning it to dst performs an interface
 // conversion of a non-interface value.
-func (c *checker) boxing(expr ast.Expr, dst types.Type) {
+func (c *BodyChecker) boxing(expr ast.Expr, dst types.Type) {
 	if dst == nil || !types.IsInterface(dst) {
 		return
 	}
-	tv, ok := c.pass.Info.Types[expr]
+	tv, ok := c.Info.Types[expr]
 	if !ok || tv.Type == nil {
 		return
 	}
@@ -329,7 +365,7 @@ func (c *checker) boxing(expr ast.Expr, dst types.Type) {
 	c.flag(expr.Pos(), "implicit conversion to interface boxes")
 }
 
-func (c *checker) assign(n *ast.AssignStmt) {
+func (c *BodyChecker) assign(n *ast.AssignStmt) {
 	// Map stores can trigger rehash growth.
 	for _, lhs := range n.Lhs {
 		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
@@ -345,7 +381,7 @@ func (c *checker) assign(n *ast.AssignStmt) {
 	}
 }
 
-func (c *checker) valueSpec(n *ast.ValueSpec) {
+func (c *BodyChecker) valueSpec(n *ast.ValueSpec) {
 	if n.Type == nil || len(n.Values) == 0 {
 		return
 	}
@@ -355,8 +391,8 @@ func (c *checker) valueSpec(n *ast.ValueSpec) {
 	}
 }
 
-func (c *checker) returnStmt(n *ast.ReturnStmt) {
-	obj, ok := c.pass.Info.Defs[c.decl.Name].(*types.Func)
+func (c *BodyChecker) returnStmt(n *ast.ReturnStmt) {
+	obj, ok := c.Info.Defs[c.decl.Name].(*types.Func)
 	if !ok {
 		return
 	}
@@ -370,11 +406,11 @@ func (c *checker) returnStmt(n *ast.ReturnStmt) {
 }
 
 // methodValue flags t.Method used as a value (a bound-method closure).
-func (c *checker) methodValue(n *ast.SelectorExpr) {
+func (c *BodyChecker) methodValue(n *ast.SelectorExpr) {
 	if c.funs[n] {
 		return
 	}
-	if sel, ok := c.pass.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+	if sel, ok := c.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
 		c.flag(n.Pos(), "method value allocates a bound-method closure")
 	}
 }
@@ -389,23 +425,23 @@ func typeUnder[U types.Type](t types.Type) (U, bool) {
 	return u, ok
 }
 
-// calleeFunc resolves the static callee of a call expression, or nil
-// for dynamic calls.
-func calleeFunc(pass *analysis.Pass, fun ast.Expr) *types.Func {
+// CalleeFunc resolves the static callee of a call expression against
+// info, or nil for dynamic calls.
+func CalleeFunc(info *types.Info, fun ast.Expr) *types.Func {
 	switch fun := ast.Unparen(fun).(type) {
 	case *ast.Ident:
-		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return fn
 		}
 	case *ast.SelectorExpr:
-		if sel, ok := pass.Info.Selections[fun]; ok {
+		if sel, ok := info.Selections[fun]; ok {
 			if fn, ok := sel.Obj().(*types.Func); ok {
 				return fn
 			}
 			return nil
 		}
 		// Qualified package function: pkg.F.
-		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
 			return fn
 		}
 	}
@@ -419,10 +455,11 @@ func recvTypeName(t types.Type) string {
 	return t.String()
 }
 
-// checkInterfaceImpls requires every module implementation of an
+// CheckInterfaceImpls requires every module implementation of an
 // annotated interface method to be annotated itself, so the contract a
-// call site relies on is actually verified somewhere.
-func checkInterfaceImpls(pass *analysis.Pass) {
+// call site relies on is actually verified somewhere. noalloctrans
+// shares it.
+func CheckInterfaceImpls(pass *analysis.Pass) {
 	var annotated []*types.Func
 	for fn, doc := range pass.Module.InterfaceMethods() {
 		if annotation.ParseDoc(doc).Noalloc {

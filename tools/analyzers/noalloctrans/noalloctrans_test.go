@@ -1,0 +1,13 @@
+package noalloctrans_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/noalloctrans"
+)
+
+func TestNoallocTrans(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloctrans.Analyzer,
+		"trans/a", "trans/dep", "mmutricks/internal/ppc")
+}

@@ -1,0 +1,12 @@
+// Package ppc is a fixture double of mmutricks/internal/ppc (the fake
+// import root resolves the real path here): Translate has lost its
+// annotation, and no annotated caller exists — only the root-anchor
+// check can catch the deletion.
+package ppc
+
+type MMU struct{ hits int }
+
+func (m *MMU) Translate(ea uint32) uint32 { // want `MMU.Translate anchors the noalloc proof`
+	m.hits++
+	return ea
+}

@@ -1,0 +1,46 @@
+// Package a holds noalloctrans fixtures: an annotated root whose
+// unannotated callees are descended transitively, plus the free-waiver
+// and line-waiver escape hatches.
+package a
+
+import "trans/dep"
+
+//mmutricks:noalloc
+func Root(n int) int {
+	v := step(n)       // want `calls step which is neither //mmutricks:noalloc nor waived //mmutricks:free`
+	v += dep.Helper(n) // want `calls Helper which is neither //mmutricks:noalloc nor waived //mmutricks:free`
+	v += freed(n)      // ok: //mmutricks:free waives the proof obligation
+	v += leaf(n)       // ok: annotated, proven at its own declaration
+	v += cold(n)       //mmutricks:noalloc-ok boot path, never reached after init
+	return v
+}
+
+// step is unannotated: the pass flags the call above, then descends
+// here and keeps checking.
+func step(n int) int {
+	s := make([]int, n)       // want `builtin make allocates`
+	return len(s) + deeper(n) // want `calls deeper which is neither //mmutricks:noalloc nor waived //mmutricks:free`
+}
+
+// deeper is two unannotated frames below the root: still reached in the
+// same run.
+func deeper(n int) int {
+	return cap(append([]int{}, n)) // want `builtin append allocates` `slice literal allocates`
+}
+
+// freed opted out of the proof; its body is neither checked nor
+// descended.
+//
+//mmutricks:free boot-time table build, cost charged by the caller
+func freed(n int) int {
+	return len(make([]int, n))
+}
+
+//mmutricks:noalloc
+func leaf(n int) int { return n * 2 }
+
+// cold's only call site is waived //mmutricks:noalloc-ok, so it is
+// neither flagged nor descended.
+func cold(n int) int {
+	return len(make([]int, n))
+}

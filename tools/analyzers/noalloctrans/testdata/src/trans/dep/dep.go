@@ -1,0 +1,10 @@
+// Package dep is the cross-package fixture: its unannotated Helper is
+// reached from trans/a's annotated root, and the descent crosses the
+// package boundary to flag the allocation here.
+package dep
+
+func Helper(n int) int {
+	s := new(int) // want `builtin new allocates`
+	*s = n
+	return *s
+}

@@ -1,0 +1,414 @@
+// Package parity statically guarantees the hwmon↔mmtrace
+// reconciliation identities (mmtrace.Reconcile's 21+7 rows): every
+// site that increments a paired hwmon counter must emit the
+// corresponding mmtrace event in the same function, and every emit of
+// a paired event kind must increment a corresponding counter in the
+// same function. Today drift between a counter and its tracepoint is
+// discovered at soak time, and only on driven paths; this pass proves
+// the pairing at make-check time over every path.
+//
+// The pairing is declarative: CounterKinds maps each hwmon.Counters
+// field to the mmtrace kinds that witness it (a counter may have
+// several witnesses — HTABHits is satisfied by a primary or a secondary
+// hit event), ExemptCounters lists fields with no event kind, and
+// ExemptKinds lists kinds with no dedicated counter. A unit test
+// cross-checks the table against the real hwmon.Counters fields and the
+// real Kind space, so adding a counter or a kind without extending the
+// table fails the build.
+//
+// Matching is per function: an Emit whose kind argument is a variable
+// is resolved against every mmtrace.Kind constant referenced in the
+// function (the do_page_fault pattern: kind := KindMajorFault, maybe
+// reassigned, one Emit at the end). Function literals are checked as
+// part of their enclosing function (the COW-break pattern emits from a
+// deferred closure). The hwmon and mmtrace packages themselves are
+// exempt (Counters.Add touches every field; Emit is the tracepoint),
+// as are _test.go files.
+//
+// A genuinely cross-function pairing is waived on its line with
+// `//mmutricks:parity-ok <reason>`; the reason must name the remote
+// site carrying the partner.
+package parity
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mmutricks/internal/mmtrace"
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/annotation"
+	"mmutricks/tools/analyzers/noalloc"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "parity",
+	Doc:  "match every hwmon counter increment with a same-function mmtrace emit of its paired kind, and vice versa",
+	Run:  run,
+}
+
+const (
+	hwmonPath   = "mmutricks/internal/hwmon"
+	mmtracePath = "mmutricks/internal/mmtrace"
+)
+
+// CounterKinds maps each paired hwmon.Counters field to the mmtrace
+// kinds that witness an increment of it. The sets mirror
+// mmtrace.Reconcile: a sum identity (HTABInserts) accepts any of its
+// addend kinds; an aux identity (ZombiesReclaimed) accepts the kinds
+// whose Aux carries the count.
+var CounterKinds = map[string][]mmtrace.Kind{
+	"TLBMisses":        {mmtrace.KindTLBMiss},
+	"HTABHits":         {mmtrace.KindHTABHitPrimary, mmtrace.KindHTABHitSecondary},
+	"HTABPrimaryHits":  {mmtrace.KindHTABHitPrimary},
+	"HTABMisses":       {mmtrace.KindHTABMiss},
+	"HashMissFaults":   {mmtrace.KindHashMissFault},
+	"SoftwareReloads":  {mmtrace.KindSoftReload},
+	"HTABFreeSlot":     {mmtrace.KindHTABInsertFree},
+	"HTABEvictsValid":  {mmtrace.KindHTABEvictLive},
+	"HTABEvictsZombie": {mmtrace.KindHTABEvictZombie},
+	"HTABInserts":      {mmtrace.KindHTABInsertFree, mmtrace.KindHTABEvictLive, mmtrace.KindHTABEvictZombie},
+	"OnDemandScans":    {mmtrace.KindOnDemandScan},
+	"MinorFaults":      {mmtrace.KindMinorFault},
+	"MajorFaults":      {mmtrace.KindMajorFault},
+	"FlushPage":        {mmtrace.KindFlushPage},
+	"FlushRange":       {mmtrace.KindFlushRange},
+	"FlushContext":     {mmtrace.KindFlushContext},
+	"CtxSwitches":      {mmtrace.KindCtxSwitch},
+	"ZombiesReclaimed": {mmtrace.KindIdleReclaim, mmtrace.KindOnDemandScan},
+	"IdlePagesCleared": {mmtrace.KindPageZero},
+	"SwapOuts":         {mmtrace.KindSwapOut},
+	"SwapIns":          {mmtrace.KindSwapIn},
+	"MachineChecks":    {mmtrace.KindMachineCheck},
+	"MCRepairsTLB":     {mmtrace.KindMCRepairTLB},
+	"MCRepairsHTAB":    {mmtrace.KindMCRepairHTAB},
+	"MCRepairsBAT":     {mmtrace.KindMCRepairBAT},
+	"MCRepairsCache":   {mmtrace.KindMCRepairCache},
+	"MCEscalations":    {mmtrace.KindMCEscalate},
+	"MCSpurious":       {mmtrace.KindMCSpurious},
+}
+
+// ExemptCounters are hwmon.Counters fields with no event kind: pure
+// aggregate statistics Reconcile never cross-checks.
+var ExemptCounters = map[string]bool{
+	"TLBHits":           true,
+	"BATHits":           true,
+	"HardwareWalks":     true,
+	"HTABFlushSearches": true,
+	"Signals":           true,
+	"Syscalls":          true,
+	"Forks":             true,
+	"Execs":             true,
+	"Exits":             true,
+	"IdlePolls":         true,
+	"ClearedPageHits":   true,
+}
+
+// ExemptKinds are event kinds with no dedicated counter (pure trace
+// detail).
+var ExemptKinds = map[mmtrace.Kind]bool{
+	mmtrace.KindTLBInsert:    true,
+	mmtrace.KindTLBEvict:     true,
+	mmtrace.KindFlushCutoff:  true,
+	mmtrace.KindVSIDReassign: true,
+	mmtrace.KindCacheFill:    true,
+}
+
+// kindCounters is the reverse table: kind -> counters it witnesses.
+var kindCounters = func() map[mmtrace.Kind][]string {
+	m := map[mmtrace.Kind][]string{}
+	for counter, kinds := range CounterKinds {
+		for _, k := range kinds {
+			m[k] = append(m[k], counter)
+		}
+	}
+	for _, cs := range m {
+		sort.Strings(cs)
+	}
+	return m
+}()
+
+func run(pass *analysis.Pass) error {
+	switch pass.Pkg.Path() {
+	case hwmonPath, mmtracePath:
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		waived, badWaivers := annotation.Waivers(pass.Fset, file, "parity-ok")
+		for line := range badWaivers {
+			pass.Reportf(noalloc.LineStart(pass.Fset, file, line), "mmutricks:parity-ok waiver requires a reason")
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd, waived)
+			}
+		}
+	}
+	return nil
+}
+
+// site is one counter increment or event emit inside a function.
+type site struct {
+	pos    token.Pos
+	name   string       // counter field, for increments
+	kind   mmtrace.Kind // resolved kind, for direct emits
+	direct bool         // emit kind argument is a constant
+}
+
+// checkFunc gathers every increment and emit in fd (function literals
+// included) and checks the pairing both ways.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waived map[int]string) {
+	var incs, emits []site
+	funcKinds := map[mmtrace.Kind]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC {
+				if name, ok := counterField(pass.Info, n.X); ok {
+					incs = append(incs, site{pos: n.Pos(), name: name})
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if name, ok := counterField(pass.Info, lhs); ok {
+						incs = append(incs, site{pos: lhs.Pos(), name: name})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if s, ok := emitSite(pass.Info, n); ok {
+				emits = append(emits, s)
+			}
+		case *ast.Ident:
+			if k, ok := kindConst(pass.Info.Uses[n]); ok {
+				funcKinds[k] = true
+			}
+		}
+		return true
+	})
+
+	allKinds := sortedKinds(funcKinds)
+
+	// Every emitted kind, with variable-kind emits resolved against the
+	// Kind constants referenced anywhere in the function.
+	emitted := map[mmtrace.Kind]bool{}
+	for _, e := range emits {
+		if e.direct {
+			emitted[e.kind] = true
+		} else {
+			for _, k := range allKinds {
+				emitted[k] = true
+			}
+		}
+	}
+	incremented := map[string]bool{}
+	for _, in := range incs {
+		incremented[in.name] = true
+	}
+
+	isWaived := func(pos token.Pos) bool {
+		_, ok := waived[pass.Fset.Position(pos).Line]
+		return ok
+	}
+
+	for _, in := range incs {
+		if ExemptCounters[in.name] || isWaived(in.pos) {
+			continue
+		}
+		kinds, known := CounterKinds[in.name]
+		if !known {
+			pass.Reportf(in.pos, "hwmon.%s is not in the parity table; add its kind mapping (or exemption) to tools/analyzers/parity", in.name)
+			continue
+		}
+		if !anyKind(emitted, kinds) {
+			pass.Reportf(in.pos, "increments hwmon.%s without emitting %s in this function; pair them or waive //mmutricks:parity-ok naming the remote emit", in.name, kindNames(kinds))
+		}
+	}
+
+	for _, e := range emits {
+		if isWaived(e.pos) {
+			continue
+		}
+		kinds := []mmtrace.Kind{e.kind}
+		if !e.direct {
+			if len(allKinds) == 0 {
+				pass.Reportf(e.pos, "cannot statically resolve this emit's kind (no mmtrace.Kind constant appears in the function); use a Kind constant or waive //mmutricks:parity-ok")
+				continue
+			}
+			kinds = allKinds
+		}
+		satisfied, unknown := false, mmtrace.Kind(0)
+		haveUnknown := false
+		var witnesses []string
+		for _, k := range kinds {
+			if ExemptKinds[k] {
+				satisfied = true
+				break
+			}
+			counters, known := kindCounters[k]
+			if !known {
+				haveUnknown, unknown = true, k
+				continue
+			}
+			witnesses = append(witnesses, counters...)
+			for _, c := range counters {
+				if incremented[c] {
+					satisfied = true
+				}
+			}
+			if satisfied {
+				break
+			}
+		}
+		switch {
+		case satisfied:
+		case haveUnknown:
+			pass.Reportf(e.pos, "mmtrace kind %s is not in the parity table; add its counter mapping (or exemption) to tools/analyzers/parity", unknown)
+		default:
+			sort.Strings(witnesses)
+			pass.Reportf(e.pos, "emits %s without incrementing %s in this function; pair them or waive //mmutricks:parity-ok naming the remote increment", kindNames(kinds), counterNames(witnesses))
+		}
+	}
+}
+
+// counterField resolves e as a selection of a hwmon.Counters field and
+// returns the field name.
+func counterField(info *types.Info, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Counters" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != hwmonPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// emitSite resolves call as Tracer.Emit/emit and extracts its kind.
+func emitSite(info *types.Info, call *ast.CallExpr) (site, bool) {
+	fn := noalloc.CalleeFunc(info, call.Fun)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != mmtracePath {
+		return site{}, false
+	}
+	if fn.Name() != "Emit" && fn.Name() != "emit" {
+		return site{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return site{}, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); !ok || named.Obj().Name() != "Tracer" {
+		return site{}, false
+	}
+	if len(call.Args) == 0 {
+		return site{}, false
+	}
+	s := site{pos: call.Pos()}
+	if k, ok := constKindOf(info, call.Args[0]); ok {
+		s.kind, s.direct = k, true
+	}
+	return s, true
+}
+
+// constKindOf resolves e to a constant mmtrace.Kind value when e is a
+// (possibly parenthesized) use of a Kind constant.
+func constKindOf(info *types.Info, e ast.Expr) (mmtrace.Kind, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	return kindConst(obj)
+}
+
+// kindConst returns obj's value when obj is a constant of the mmtrace
+// Kind type.
+func kindConst(obj types.Object) (mmtrace.Kind, bool) {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != mmtracePath {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(c.Val())
+	if !ok {
+		return 0, false
+	}
+	return mmtrace.Kind(v), true
+}
+
+func anyKind(set map[mmtrace.Kind]bool, kinds []mmtrace.Kind) bool {
+	for _, k := range kinds {
+		if set[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKinds(set map[mmtrace.Kind]bool) []mmtrace.Kind {
+	out := make([]mmtrace.Kind, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// kindNames renders a kind set for a diagnostic ("mmtrace event
+// tlb-miss" or "an mmtrace event among htab-insert-free/...").
+func kindNames(kinds []mmtrace.Kind) string {
+	if len(kinds) == 1 {
+		return "mmtrace event " + kinds[0].String()
+	}
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return "an mmtrace event among " + strings.Join(names, "/")
+}
+
+// counterNames renders a witness-counter set for a diagnostic.
+func counterNames(counters []string) string {
+	counters = dedupStrings(counters)
+	if len(counters) == 1 {
+		return "hwmon." + counters[0]
+	}
+	return "a counter among hwmon." + strings.Join(counters, "/hwmon.")
+}
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package parity_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/mmtrace"
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/parity"
+)
+
+func TestParity(t *testing.T) {
+	analysistest.Run(t, "testdata", parity.Analyzer,
+		"kernel", "mmutricks/internal/hwmon", "mmutricks/internal/mmtrace")
+}
+
+// TestTableCoversCounters pins the declarative table to the real
+// hwmon.Counters: every field sits in exactly one of CounterKinds or
+// ExemptCounters, and the table names no stale fields. Adding a counter
+// without classifying it fails here.
+func TestTableCoversCounters(t *testing.T) {
+	typ := reflect.TypeOf(hwmon.Counters{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		_, paired := parity.CounterKinds[name]
+		exempt := parity.ExemptCounters[name]
+		if paired == exempt {
+			t.Errorf("hwmon.Counters.%s must be in exactly one of CounterKinds and ExemptCounters (paired=%v exempt=%v)", name, paired, exempt)
+		}
+	}
+	for name := range parity.CounterKinds {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("CounterKinds names %q, which is not a hwmon.Counters field", name)
+		}
+	}
+	for name := range parity.ExemptCounters {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("ExemptCounters names %q, which is not a hwmon.Counters field", name)
+		}
+	}
+}
+
+// TestTableCoversKinds pins the table to the real Kind space: every
+// kind is either some counter's witness or exempt, never both, and the
+// table references no out-of-range kinds. Adding a Kind without
+// classifying it fails here.
+func TestTableCoversKinds(t *testing.T) {
+	covered := map[mmtrace.Kind]bool{}
+	for counter, kinds := range parity.CounterKinds {
+		for _, k := range kinds {
+			covered[k] = true
+			if parity.ExemptKinds[k] {
+				t.Errorf("kind %s is both a witness of %s and exempt", k, counter)
+			}
+			if k >= mmtrace.NumKinds {
+				t.Errorf("CounterKinds[%s] references out-of-range kind %d", counter, k)
+			}
+		}
+	}
+	for k := range parity.ExemptKinds {
+		covered[k] = true
+		if k >= mmtrace.NumKinds {
+			t.Errorf("ExemptKinds references out-of-range kind %d", k)
+		}
+	}
+	for k := mmtrace.Kind(0); k < mmtrace.NumKinds; k++ {
+		if !covered[k] {
+			t.Errorf("kind %s (%d) is in neither CounterKinds nor ExemptKinds", k, uint8(k))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package kernel is the parity fixture: counter/emit pairs in every
+// shape the real kernel uses, plus the violations and waivers.
+package kernel
+
+import (
+	"mmutricks/internal/hwmon"
+	"mmutricks/internal/mmtrace"
+)
+
+type K struct {
+	Mon hwmon.Counters
+	Trc *mmtrace.Tracer
+}
+
+// paired: both directions satisfied in one function.
+func (k *K) paired() {
+	k.Mon.TLBMisses++
+	k.Trc.Emit(mmtrace.KindTLBMiss, 0)
+}
+
+// primaryHit: the sum identity — one primary-hit event witnesses both
+// HTABHits and HTABPrimaryHits.
+func (k *K) primaryHit() {
+	k.Mon.HTABHits++
+	k.Mon.HTABPrimaryHits++
+	k.Trc.Emit(mmtrace.KindHTABHitPrimary, 0)
+}
+
+func (k *K) unpairedInc() {
+	k.Mon.TLBMisses++ // want `increments hwmon.TLBMisses without emitting mmtrace event tlb-miss`
+}
+
+func (k *K) unpairedEmit() {
+	k.Trc.Emit(mmtrace.KindMinorFault, 0) // want `emits mmtrace event minor-fault without incrementing hwmon.MinorFaults`
+}
+
+// exempt: counters with no kind and kinds with no counter draw nothing.
+func (k *K) exempt() {
+	k.Mon.TLBHits++
+	k.Trc.Emit(mmtrace.KindTLBInsert, 0)
+}
+
+// waived cross-function pair: each side names its remote partner.
+func (k *K) waivedInc() {
+	k.Mon.MajorFaults++ //mmutricks:parity-ok the emit lives in waivedEmit, after the handler cost is known
+}
+
+func (k *K) waivedEmit() {
+	k.Trc.Emit(mmtrace.KindMajorFault, 0) //mmutricks:parity-ok the increment lives in waivedInc, at delivery
+}
+
+// variableKind: the do_page_fault pattern — the emit's kind argument is
+// a variable resolved against the Kind constants in the function.
+func (k *K) variableKind(minor bool) {
+	kind := mmtrace.KindMajorFault
+	k.Mon.MajorFaults++
+	if minor {
+		kind = mmtrace.KindMinorFault
+		k.Mon.MinorFaults++
+	}
+	k.Trc.Emit(kind, 0)
+}
+
+// closureEmit: the COW-break pattern — a deferred closure's emit counts
+// as part of the enclosing function.
+func (k *K) closureEmit() {
+	defer func() {
+		k.Trc.Emit(mmtrace.KindCtxSwitch, 0)
+	}()
+	k.Mon.CtxSwitches++
+}
+
+// addAssign: += is an increment too.
+func (k *K) addAssign(n uint64) {
+	k.Mon.HTABHits += n // want `increments hwmon.HTABHits without emitting an mmtrace event among htab-hit-primary/htab-hit-secondary`
+}
+
+// unknowns: entries missing from the table are themselves diagnostics,
+// so extending hwmon or mmtrace forces a table update.
+func (k *K) unknowns() {
+	k.Mon.BogusEvents++              // want `hwmon.BogusEvents is not in the parity table`
+	k.Trc.Emit(mmtrace.KindBogus, 0) // want `mmtrace kind kind\(\?\) is not in the parity table`
+}

@@ -1,0 +1,10 @@
+// Test files are exempt from parity: drivers snapshot counters and
+// emit synthetic events freely.
+package kernel
+
+import "mmutricks/internal/mmtrace"
+
+func (k *K) testOnlyUnpaired() {
+	k.Mon.TLBMisses++
+	k.Trc.Emit(mmtrace.KindMinorFault, 0)
+}

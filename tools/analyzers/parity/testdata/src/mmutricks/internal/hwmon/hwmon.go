@@ -1,0 +1,17 @@
+// Package hwmon is a fixture double of the real counter file: the
+// parity pass matches Counters by import path, which the fake fixture
+// root resolves here. Field names reuse the real ones so the real
+// parity table applies; BogusEvents exists only to prove the
+// unknown-counter diagnostic.
+package hwmon
+
+type Counters struct {
+	TLBHits         uint64 // exempt: no event kind
+	TLBMisses       uint64
+	HTABHits        uint64
+	HTABPrimaryHits uint64
+	MinorFaults     uint64
+	MajorFaults     uint64
+	CtxSwitches     uint64
+	BogusEvents     uint64 // not in the table: must be reported
+}

@@ -1,0 +1,44 @@
+// Package mmtrace is a fixture double of the real tracer: Kind
+// constants keep the real iota order so their values line up with the
+// real parity table, and KindBogus sits outside the real Kind space to
+// prove the unknown-kind diagnostic.
+package mmtrace
+
+type Kind uint8
+
+const (
+	KindTLBMiss Kind = iota
+	KindTLBInsert
+	KindTLBEvict
+	KindHTABHitPrimary
+	KindHTABHitSecondary
+	KindHTABMiss
+	KindHashMissFault
+	KindSoftReload
+	KindHTABInsertFree
+	KindHTABEvictLive
+	KindHTABEvictZombie
+	KindOnDemandScan
+	KindMinorFault
+	KindMajorFault
+	KindFlushPage
+	KindFlushRange
+	KindFlushCutoff
+	KindFlushContext
+	KindVSIDReassign
+	KindCtxSwitch
+)
+
+// KindBogus is outside the real Kind space.
+const KindBogus Kind = 99
+
+type Tracer struct{ n uint64 }
+
+func (t *Tracer) Emit(kind Kind, aux uint32) {
+	if t == nil {
+		return
+	}
+	t.n++
+	_ = kind
+	_ = aux
+}

@@ -1,0 +1,149 @@
+// Package suite is the single registry of the repo's analyzers and the
+// shared command-line driver behind cmd/mmulint and cmd/mmuprove.
+// Adding an analyzer is a one-line registration in the set it belongs
+// to; both tools pick it up, and -list prints it.
+//
+// The sets:
+//
+//   - Lint: structural hygiene checks run by mmulint — cycle-accounting
+//     completeness, invariant checking in state-mutating tests, and
+//     experiment-registration hygiene.
+//   - Prove: whole-program proofs run by mmuprove — transitive noalloc
+//     over the call graph, determinism of byte-identical output
+//     packages, and counter↔trace parity.
+//   - Extra: registered and selectable via -run, but in no default set.
+//     The single-function noalloc pass lives here: noalloctrans
+//     subsumes it, and running both would double-report.
+package suite
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/cyclecost"
+	"mmutricks/tools/analyzers/determinism"
+	"mmutricks/tools/analyzers/driver"
+	"mmutricks/tools/analyzers/invariantcheck"
+	"mmutricks/tools/analyzers/load"
+	"mmutricks/tools/analyzers/noalloc"
+	"mmutricks/tools/analyzers/noalloctrans"
+	"mmutricks/tools/analyzers/parity"
+	"mmutricks/tools/analyzers/registry"
+)
+
+// Lint is the default set for cmd/mmulint.
+var Lint = []*analysis.Analyzer{
+	cyclecost.Analyzer,
+	invariantcheck.Analyzer,
+	registry.Analyzer,
+}
+
+// Prove is the default set for cmd/mmuprove.
+var Prove = []*analysis.Analyzer{
+	noalloctrans.Analyzer,
+	determinism.Analyzer,
+	parity.Analyzer,
+}
+
+// Extra holds analyzers in no default set, still selectable via -run.
+var Extra = []*analysis.Analyzer{
+	noalloc.Analyzer,
+}
+
+// All returns every registered analyzer, default sets first.
+func All() []*analysis.Analyzer {
+	var all []*analysis.Analyzer
+	all = append(all, Lint...)
+	all = append(all, Prove...)
+	all = append(all, Extra...)
+	return all
+}
+
+// Main is the shared driver: parse flags, load packages, run the
+// tool's default analyzers (or the -run selection from the full
+// registry), print vet-style diagnostics, and exit 1 on a non-empty
+// report or 2 on load errors. tool names the binary in messages.
+func Main(tool string, defaults []*analysis.Analyzer) {
+	list := flag.Bool("list", false, "list all registered analyzers and exit")
+	tests := flag.Bool("tests", true, "analyze _test.go files too")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: this tool's set)")
+	flag.Parse()
+
+	if *list {
+		inSet := map[string]bool{}
+		for _, a := range defaults {
+			inSet[a.Name] = true
+		}
+		for _, a := range All() {
+			mark := " "
+			if inSet[a.Name] {
+				mark = "*"
+			}
+			fmt.Printf("%s %-15s %s\n", mark, a.Name, firstLine(a.Doc))
+		}
+		fmt.Printf("\n* = in %s's default set\n", tool)
+		return
+	}
+
+	analyzers := defaults
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range All() {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "%s: unknown analyzer %q\n", tool, name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := load.Load(load.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	diags, err := driver.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		fmt.Println(Format(d, wd))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// Format renders one diagnostic vet-style, with the filename relative
+// to wd when it sits underneath it.
+func Format(d driver.Diag, wd string) string {
+	name := d.Pos.Filename
+	if wd != "" {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", name, d.Pos.Line, d.Pos.Column, d.Category, d.Message)
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}

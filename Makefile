@@ -1,7 +1,7 @@
 # The paper-reproduction simulator is pure Go; these targets wrap the
 # toolchain invocations the project treats as canonical.
 
-.PHONY: build test lint prove check bench report
+.PHONY: build test lint prove check bench benchsmoke pgo report
 
 build:
 	go build ./...
@@ -27,9 +27,27 @@ check:
 	sh scripts/check.sh
 
 # bench regenerates BENCH_harness.json (sequential vs parallel harness
-# timing; see README.md).
+# timing, per-experiment sim cycles and counter checksums; see
+# README.md). Regenerate it whenever simulated counters intentionally
+# change — benchsmoke holds future runs to its checksums.
 bench: build
 	go run ./cmd/mmureport -benchjson BENCH_harness.json
+
+# benchsmoke verifies the committed bench baseline still reproduces:
+# per-experiment counter checksums, -j determinism, and a fresh,
+# buildable PGO profile. CI runs this; wall times are NOT compared.
+benchsmoke:
+	sh scripts/bench_smoke.sh
+
+# pgo regenerates cmd/mmureport/default.pgo — the profile `go build`
+# applies automatically when compiling the harness — from two merged
+# quick-scale -all runs. Regenerate after changing hot simulation code.
+pgo: build
+	go build -o /tmp/mmureport_pgogen ./cmd/mmureport
+	/tmp/mmureport_pgogen -all -j 1 -cpuprofile /tmp/mmureport_pgo1.pprof > /dev/null
+	/tmp/mmureport_pgogen -all -j 1 -cpuprofile /tmp/mmureport_pgo2.pprof > /dev/null
+	go tool pprof -proto /tmp/mmureport_pgo1.pprof /tmp/mmureport_pgo2.pprof > cmd/mmureport/default.pgo
+	rm -f /tmp/mmureport_pgogen /tmp/mmureport_pgo1.pprof /tmp/mmureport_pgo2.pprof
 
 report: build
 	go run ./cmd/mmureport -all

@@ -17,11 +17,14 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
@@ -33,6 +36,13 @@ func main() {
 }
 
 func run() int {
+	// The harness's live heap is small (each cell frees its machine when
+	// it finishes) but cells allocate steadily; the default GC target
+	// spends measurable wall clock collecting garbage that a slightly
+	// lazier target absorbs for free. GOGC still overrides.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
 	var (
 		list       = flag.Bool("list", false, "list experiments and exit")
 		exp        = flag.String("experiment", "", "run a single experiment by id")
@@ -132,17 +142,36 @@ type benchExperiment struct {
 	ID        string  `json:"id"`
 	WallMS    float64 `json:"wall_ms"`
 	SimCycles uint64  `json:"sim_cycles"`
+	// CounterChecksum fingerprints the experiment's rendered grid — the
+	// hwmon counters and every value derived from them. It is
+	// deterministic (the harness guarantees byte-identical output), so
+	// any drift in simulated counters shows up as a checksum change
+	// even when wall times move with the host.
+	CounterChecksum string `json:"counter_checksum"`
 }
 
 type benchDoc struct {
-	Scale           string            `json:"scale"`
-	Parallelism     int               `json:"parallelism"`
-	HostCPUs        int               `json:"host_cpus"`
+	Scale       string `json:"scale"`
+	Parallelism int    `json:"parallelism"`
+	HostCPUs    int    `json:"host_cpus"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	// SimCyclesPerSec is the aggregate simulation rate of the
+	// sequential pass: total simulated cycles charged divided by wall
+	// time. It is the harness's throughput figure of merit — unlike
+	// wall time alone it scales out differences in experiment mix.
+	SimCyclesPerSec float64           `json:"sim_cycles_per_sec"`
 	SequentialMS    float64           `json:"sequential_ms"`
 	ParallelMS      float64           `json:"parallel_ms"`
 	Speedup         float64           `json:"speedup"`
 	IdenticalOutput bool              `json:"identical_output"`
 	Experiments     []benchExperiment `json:"experiments"`
+}
+
+// counterChecksum fingerprints a rendered table: sha256, truncated to
+// 16 hex digits (drift detection, not cryptography).
+func counterChecksum(t *report.Table) string {
+	sum := sha256.Sum256([]byte(t.Render()))
+	return hex.EncodeToString(sum[:8])
 }
 
 // benchHarness times the full registry once sequentially (exact
@@ -167,22 +196,27 @@ func benchHarness(path string, scale report.Scale, j int) int {
 		Scale:           scaleName,
 		Parallelism:     j,
 		HostCPUs:        runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		SequentialMS:    float64(seqWall.Microseconds()) / 1000,
 		ParallelMS:      float64(parWall.Microseconds()) / 1000,
 		Speedup:         seqWall.Seconds() / parWall.Seconds(),
 		IdenticalOutput: renderAll(seq) == renderAll(par),
 	}
+	var totalCycles uint64
 	for _, r := range seq {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
 			return 1
 		}
+		totalCycles += r.SimCycles
 		doc.Experiments = append(doc.Experiments, benchExperiment{
-			ID:        r.Experiment.ID,
-			WallMS:    float64(r.Wall.Microseconds()) / 1000,
-			SimCycles: r.SimCycles,
+			ID:              r.Experiment.ID,
+			WallMS:          float64(r.Wall.Microseconds()) / 1000,
+			SimCycles:       r.SimCycles,
+			CounterChecksum: counterChecksum(r.Table),
 		})
 	}
+	doc.SimCyclesPerSec = float64(totalCycles) / seqWall.Seconds()
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmureport: %v\n", err)

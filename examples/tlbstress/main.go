@@ -38,8 +38,19 @@ func main() {
 			k.SysMmap(max(pages, 100))
 			k.UserTouchPages(kernel.UserMmapBase, max(pages, 100))
 			start := k.M.Led.Now()
-			for i := 0; i < refs; i++ {
-				k.UserRef(g.Next(), false)
+			// Consume whole runs when the generator can describe its
+			// stream that way (sequential walks); the irregular
+			// patterns stay reference-at-a-time.
+			if rg, ok := g.(trace.RunGenerator); ok {
+				for done := 0; done < refs; {
+					ea, cnt, stride := rg.NextRun(refs - done)
+					k.UserRefRun(ea, cnt, stride, false)
+					done += cnt
+				}
+			} else {
+				for i := 0; i < refs; i++ {
+					k.UserRef(g.Next(), false)
+				}
 			}
 			cyc := float64(k.M.Led.Now()-start) / refs
 			fmt.Printf("%14.1fc ", cyc)

@@ -62,11 +62,20 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// lineKeyValid marks a resident line in the packed key. Tags are line
+// addresses (physical address >> lineShift), which for a 32-bit
+// physical space never reach bit 31, so key==tag|lineKeyValid makes
+// the hot-path probe a single compare per way: an invalid line's key
+// is 0 and can never equal a wanted key.
+const lineKeyValid uint32 = 1 << 31
+
+// line is one cache line's state, packed to 16 bytes so a 4-way set
+// occupies a single host cache line.
 type line struct {
-	valid bool
-	dirty bool
-	tag   uint32
-	class Class
+	key   uint32 // tag | lineKeyValid when resident; 0 when invalid
+	class uint8
+	dirty uint8
+	_     [2]byte
 	// lru is a per-set sequence number; larger = more recently used.
 	lru uint64
 }
@@ -124,10 +133,12 @@ func (s *Stats) PollutionBy(c Class) uint64 {
 	return t
 }
 
-// Cache is one set-associative L1 cache (instruction or data).
+// Cache is one set-associative L1 cache (instruction or data). Lines
+// are stored flat (set-major): one bounds-checked slice index reaches
+// any set, with no per-set pointer chase on the hot path.
 type Cache struct {
 	name      string
-	sets      [][]line
+	lines     []line
 	ways      int
 	lineShift uint
 	setMask   uint32
@@ -150,24 +161,30 @@ func New(name string, size, ways, lineSize int) *Cache {
 	for 1<<shift < lineSize {
 		shift++
 	}
-	c := &Cache{
+	return &Cache{
 		name:      name,
-		sets:      make([][]line, nsets),
+		lines:     make([]line, nlines),
 		ways:      ways,
 		lineShift: shift,
 		setMask:   uint32(nsets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
-	}
-	return c
 }
 
 // Name returns the label the cache was created with.
 func (c *Cache) Name() string { return c.name }
 
 // Sets returns the number of sets.
-func (c *Cache) Sets() int { return len(c.sets) }
+//
+//mmutricks:noalloc
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
+
+// setLines returns the ways of one set as a subslice of the flat array.
+//
+//mmutricks:noalloc
+func (c *Cache) setLines(set int) []line {
+	base := set * c.ways
+	return c.lines[base : base+c.ways]
+}
 
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
@@ -183,7 +200,7 @@ func (c *Cache) Stats() *Stats { return &c.stats }
 //mmutricks:noalloc
 func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
 	lineAddr := uint32(pa) >> c.lineShift
-	return int(lineAddr & c.setMask), lineAddr >> 0
+	return int(lineAddr & c.setMask), lineAddr
 }
 
 // Access performs one cached access on behalf of class. It returns
@@ -198,13 +215,37 @@ func (c *Cache) index(pa arch.PhysAddr) (set int, tag uint32) {
 func (c *Cache) Access(pa arch.PhysAddr, class Class, write bool) (hit, castout bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	want := tag | lineKeyValid
 	c.seq++
+	if c.ways == 4 {
+		q := (*[4]line)(c.lines[set*4:])
+		var hitLine *line
+		switch want {
+		case q[0].key:
+			hitLine = &q[0]
+		case q[1].key:
+			hitLine = &q[1]
+		case q[2].key:
+			hitLine = &q[2]
+		case q[3].key:
+			hitLine = &q[3]
+		}
+		if hitLine != nil {
+			hitLine.lru = c.seq
+			if write {
+				hitLine.dirty = 1
+			}
+			return true, false
+		}
+		c.stats.Misses[class]++
+		return false, c.fill(set, tag, class, write)
+	}
+	lines := c.setLines(set)
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i].lru = c.seq
 			if write {
-				lines[i].dirty = true
+				lines[i].dirty = 1
 			}
 			return true, false
 		}
@@ -232,13 +273,14 @@ func (c *Cache) AccessInhibited(class Class) {
 func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	lines := c.setLines(set)
+	want := tag | lineKeyValid
 	c.seq++
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i].lru = c.seq
 			if write {
-				lines[i].dirty = true
+				lines[i].dirty = 1
 			}
 			return true
 		}
@@ -257,18 +299,514 @@ func (c *Cache) AccessNoAlloc(pa arch.PhysAddr, class Class, write bool) (hit bo
 func (c *Cache) ZeroLine(pa arch.PhysAddr, class Class) (castout bool) {
 	c.stats.Accesses[class]++
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	lines := c.setLines(set)
+	want := tag | lineKeyValid
 	c.seq++
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i].lru = c.seq
-			lines[i].dirty = true
+			lines[i].dirty = 1
 			return false
 		}
 	}
 	// Counts as an access but not a (latency-bearing) miss: the fill
 	// needs no memory read.
 	return c.fill(set, tag, class, true)
+}
+
+// MissRef records one missing reference within a run: the index of the
+// reference in the run and whether its fill cast out a dirty victim.
+type MissRef struct {
+	Index   int32
+	Castout bool
+}
+
+// AccessRun performs n equally-strided accesses (pa, pa+stride, ...)
+// on behalf of class, exactly as n scalar Access calls would: same
+// counters, same final LRU/dirty state, same eviction attribution.
+// Consecutive references landing on one resident line collapse into a
+// single sequence advance with the final LRU stamp (the intermediate
+// stamps are unobservable — a hit touches no other line). Missing
+// references are recorded in misses, in reference order, so the
+// machine layer can charge fills and emit trace events at the right
+// points; the caller's buffer must hold one entry per distinct line
+// the run can touch.
+//
+//mmutricks:free misses are returned; the machine layer charges the fills
+//mmutricks:noalloc
+func (c *Cache) AccessRun(pa arch.PhysAddr, n, stride int, class Class, write bool, misses []MissRef) (nmiss int) {
+	c.stats.Accesses[class] += uint64(n)
+	lineSize := 1 << c.lineShift
+	if stride&(lineSize-1) == 0 && uint32(pa)&uint32(lineSize-1) == 0 {
+		// Line-aligned references with a line-multiple stride — the
+		// dominant shape (one access per line): no two references share
+		// a line, so each is one probe with the fill inlined. The probe
+		// and the victim scan share one pass's state.
+		la := uint32(pa) >> c.lineShift
+		step := uint32(stride) >> c.lineShift
+		ways := c.ways
+		seq := c.seq
+		var dirty uint8
+		if write {
+			dirty = 1
+		}
+		// Per-victim-class eviction counts accumulate in locals and
+		// flush once after the loop — the increments are the hottest
+		// stores in the simulator. Sized 8 and masked so indexing by
+		// the victim's class byte needs no bounds check.
+		var ev, co [8]uint64
+		if ways == 4 {
+			// Both L1 geometries are 4-way; unrolling the probe and
+			// victim scans removes all per-way loop overhead.
+			for i := 0; i < n; i++ {
+				q := (*[4]line)(c.lines[int(la&c.setMask)*4:])
+				want := la | lineKeyValid
+				seq++
+				var hitLine *line
+				switch want {
+				case q[0].key:
+					hitLine = &q[0]
+				case q[1].key:
+					hitLine = &q[1]
+				case q[2].key:
+					hitLine = &q[2]
+				case q[3].key:
+					hitLine = &q[3]
+				}
+				if hitLine != nil {
+					hitLine.lru = seq
+					hitLine.dirty |= dirty
+					la += step
+					continue
+				}
+				victim := &q[0]
+				castout := false
+				switch {
+				case q[0].key&lineKeyValid == 0:
+				case q[1].key&lineKeyValid == 0:
+					victim = &q[1]
+				case q[2].key&lineKeyValid == 0:
+					victim = &q[2]
+				case q[3].key&lineKeyValid == 0:
+					victim = &q[3]
+				default:
+					if q[1].lru < victim.lru {
+						victim = &q[1]
+					}
+					if q[2].lru < victim.lru {
+						victim = &q[2]
+					}
+					if q[3].lru < victim.lru {
+						victim = &q[3]
+					}
+					ev[victim.class&7]++
+					if victim.dirty != 0 {
+						co[victim.class&7]++
+						castout = true
+					}
+				}
+				*victim = line{key: want, class: uint8(class), dirty: dirty, lru: seq}
+				misses[nmiss] = MissRef{Index: int32(i), Castout: castout}
+				nmiss++
+				la += step
+			}
+			c.seq = seq
+			c.stats.Misses[class] += uint64(nmiss)
+			c.stats.Fills[class] += uint64(nmiss)
+			for v := 0; v < int(numClasses); v++ {
+				c.stats.EvictedBy[v][class] += ev[v]
+				c.stats.Castouts[v] += co[v]
+			}
+			return nmiss
+		}
+		for i := 0; i < n; i++ {
+			base := int(la&c.setMask) * ways
+			lines := c.lines[base : base+ways]
+			want := la | lineKeyValid
+			seq++
+			way := -1
+			for w := range lines {
+				if lines[w].key == want {
+					way = w
+					break
+				}
+			}
+			if way >= 0 {
+				lines[way].lru = seq
+				lines[way].dirty |= dirty
+				la += step
+				continue
+			}
+			victim := 0
+			castout := false
+			minLRU := ^uint64(0)
+			for w := range lines {
+				if lines[w].key&lineKeyValid == 0 {
+					victim = w
+					goto install
+				}
+				if lines[w].lru < minLRU {
+					minLRU = lines[w].lru
+					victim = w
+				}
+			}
+			ev[lines[victim].class&7]++
+			if lines[victim].dirty != 0 {
+				co[lines[victim].class&7]++
+				castout = true
+			}
+		install:
+			lines[victim] = line{key: want, class: uint8(class), dirty: dirty, lru: seq}
+			misses[nmiss] = MissRef{Index: int32(i), Castout: castout}
+			nmiss++
+			la += step
+		}
+		c.seq = seq
+		c.stats.Misses[class] += uint64(nmiss)
+		c.stats.Fills[class] += uint64(nmiss)
+		for v := 0; v < int(numClasses); v++ {
+			c.stats.EvictedBy[v][class] += ev[v]
+			c.stats.Castouts[v] += co[v]
+		}
+		return nmiss
+	}
+	// General shape: group the references by the line they land on (the
+	// grouping scan is division-free; line-crossing groups are short).
+	for i := 0; i < n; {
+		a := pa + arch.PhysAddr(i*stride)
+		la := uint32(a) >> c.lineShift
+		k := 1
+		for i+k < n && uint32(a+arch.PhysAddr(k*stride))>>c.lineShift == la {
+			k++
+		}
+		set := int(la & c.setMask)
+		lines := c.setLines(set)
+		want := la | lineKeyValid
+		way := -1
+		for w := range lines {
+			if lines[w].key == want {
+				way = w
+				break
+			}
+		}
+		if way >= 0 {
+			c.seq += uint64(k)
+			lines[way].lru = c.seq
+			if write {
+				lines[way].dirty = 1
+			}
+		} else {
+			// The first reference misses and fills; the remaining k-1
+			// hit the freshly filled line.
+			c.seq++
+			c.stats.Misses[class]++
+			castout := c.fill(set, la, class, write)
+			misses[nmiss] = MissRef{Index: int32(i), Castout: castout}
+			nmiss++
+			if k > 1 {
+				c.seq += uint64(k - 1)
+				for w := range lines {
+					if lines[w].key == want {
+						lines[w].lru = c.seq
+						break
+					}
+				}
+			}
+		}
+		i += k
+	}
+	return nmiss
+}
+
+// AccessRunCount is AccessRun without the per-miss records: cache
+// state and statistics advance identically, but only the miss and
+// castout counts come back. The machine layer uses it when the tracer
+// is off and there is no L2 — the per-miss fill costs are then
+// closed-form, so nothing downstream needs to know where the misses
+// fell, and the run needs no chunking to bound a scratch buffer.
+//
+//mmutricks:free miss/castout counts are returned; the machine layer charges them
+//mmutricks:noalloc
+func (c *Cache) AccessRunCount(pa arch.PhysAddr, n, stride int, class Class, write bool) (nmiss, ncast int) {
+	c.stats.Accesses[class] += uint64(n)
+	lineSize := 1 << c.lineShift
+	if stride&(lineSize-1) == 0 && uint32(pa)&uint32(lineSize-1) == 0 && c.ways == 4 {
+		la := uint32(pa) >> c.lineShift
+		step := uint32(stride) >> c.lineShift
+		seq := c.seq
+		mask := c.setMask
+		lines := c.lines
+		var dirty uint8
+		if write {
+			dirty = 1
+		}
+		var ev, co [8]uint64
+		for i := 0; i < n; i++ {
+			q := (*[4]line)(lines[int(la&mask)*4:])
+			want := la | lineKeyValid
+			seq++
+			// Probe all four ways with conditional moves, then branch
+			// once on hit/miss — runs are phase-coherent (a clear run
+			// misses throughout, a warm run hits throughout), so the
+			// single branch predicts well.
+			wi := -1
+			if q[0].key == want {
+				wi = 0
+			}
+			if q[1].key == want {
+				wi = 1
+			}
+			if q[2].key == want {
+				wi = 2
+			}
+			if q[3].key == want {
+				wi = 3
+			}
+			if wi >= 0 {
+				p := &q[wi&3]
+				p.lru = seq
+				p.dirty |= dirty
+				la += step
+				continue
+			}
+			vi := 0
+			if q[0].key&q[1].key&q[2].key&q[3].key&lineKeyValid != 0 {
+				// Set full: evict the LRU way. A tournament over
+				// preloaded stamps keeps the loads independent; every
+				// comparison is strict, so the earliest way wins ties
+				// exactly as the scalar scan decides them.
+				l0, l1, l2, l3 := q[0].lru, q[1].lru, q[2].lru, q[3].lru
+				m01, i01 := l0, 0
+				if l1 < l0 {
+					m01, i01 = l1, 1
+				}
+				m23, i23 := l2, 2
+				if l3 < l2 {
+					m23, i23 = l3, 3
+				}
+				vi = i01
+				if m23 < m01 {
+					vi = i23
+				}
+				ev[q[vi].class&7]++
+				if q[vi].dirty != 0 {
+					co[q[vi].class&7]++
+					ncast++
+				}
+			} else {
+				// A free way exists: take the first invalid one.
+				switch {
+				case q[0].key&lineKeyValid == 0:
+				case q[1].key&lineKeyValid == 0:
+					vi = 1
+				case q[2].key&lineKeyValid == 0:
+					vi = 2
+				default:
+					vi = 3
+				}
+			}
+			q[vi] = line{key: want, class: uint8(class), dirty: dirty, lru: seq}
+			nmiss++
+			la += step
+		}
+		c.seq = seq
+		c.stats.Misses[class] += uint64(nmiss)
+		c.stats.Fills[class] += uint64(nmiss)
+		for v := 0; v < int(numClasses); v++ {
+			c.stats.EvictedBy[v][class] += ev[v]
+			c.stats.Castouts[v] += co[v]
+		}
+		return nmiss, ncast
+	}
+	if c.ways == 4 {
+		// Sub-line strides group into per-line streaks of a few
+		// references; the same unrolled 4-way probe applies per group.
+		for i := 0; i < n; {
+			a := pa + arch.PhysAddr(i*stride)
+			la := uint32(a) >> c.lineShift
+			k := 1
+			for i+k < n && uint32(a+arch.PhysAddr(k*stride))>>c.lineShift == la {
+				k++
+			}
+			q := (*[4]line)(c.lines[int(la&c.setMask)*4:])
+			want := la | lineKeyValid
+			wi := -1
+			if q[0].key == want {
+				wi = 0
+			}
+			if q[1].key == want {
+				wi = 1
+			}
+			if q[2].key == want {
+				wi = 2
+			}
+			if q[3].key == want {
+				wi = 3
+			}
+			if wi >= 0 {
+				c.seq += uint64(k)
+				p := &q[wi&3]
+				p.lru = c.seq
+				if write {
+					p.dirty = 1
+				}
+			} else {
+				c.seq++
+				c.stats.Misses[class]++
+				c.stats.Fills[class]++
+				vi := 0
+				if q[0].key&q[1].key&q[2].key&q[3].key&lineKeyValid != 0 {
+					l0, l1, l2, l3 := q[0].lru, q[1].lru, q[2].lru, q[3].lru
+					m01, i01 := l0, 0
+					if l1 < l0 {
+						m01, i01 = l1, 1
+					}
+					m23, i23 := l2, 2
+					if l3 < l2 {
+						m23, i23 = l3, 3
+					}
+					vi = i01
+					if m23 < m01 {
+						vi = i23
+					}
+					c.stats.EvictedBy[q[vi].class&7][class]++
+					if q[vi].dirty != 0 {
+						c.stats.Castouts[q[vi].class&7]++
+						ncast++
+					}
+				} else {
+					switch {
+					case q[0].key&lineKeyValid == 0:
+					case q[1].key&lineKeyValid == 0:
+						vi = 1
+					case q[2].key&lineKeyValid == 0:
+						vi = 2
+					default:
+						vi = 3
+					}
+				}
+				var d uint8
+				if write {
+					d = 1
+				}
+				nmiss++
+				// Install, then restamp with the group's trailing hits.
+				c.seq += uint64(k - 1)
+				q[vi&3] = line{key: want, class: uint8(class), dirty: d, lru: c.seq}
+			}
+			i += k
+		}
+		return nmiss, ncast
+	}
+	for i := 0; i < n; {
+		a := pa + arch.PhysAddr(i*stride)
+		la := uint32(a) >> c.lineShift
+		k := 1
+		for i+k < n && uint32(a+arch.PhysAddr(k*stride))>>c.lineShift == la {
+			k++
+		}
+		set := int(la & c.setMask)
+		lines := c.setLines(set)
+		want := la | lineKeyValid
+		way := -1
+		for w := range lines {
+			if lines[w].key == want {
+				way = w
+				break
+			}
+		}
+		if way >= 0 {
+			c.seq += uint64(k)
+			lines[way].lru = c.seq
+			if write {
+				lines[way].dirty = 1
+			}
+		} else {
+			c.seq++
+			c.stats.Misses[class]++
+			if c.fill(set, la, class, write) {
+				ncast++
+			}
+			nmiss++
+			if k > 1 {
+				c.seq += uint64(k - 1)
+				for w := range lines {
+					if lines[w].key == want {
+						lines[w].lru = c.seq
+						break
+					}
+				}
+			}
+		}
+		i += k
+	}
+	return nmiss, ncast
+}
+
+// AccessNoAllocRun is AccessRun under a locked cache (§10.1): hits
+// behave normally, but misses do not allocate, so every reference on a
+// non-resident line misses and is recorded individually (the caller's
+// buffer must hold n entries).
+//
+//mmutricks:free misses are returned; the machine layer charges the uncached latency
+//mmutricks:noalloc
+func (c *Cache) AccessNoAllocRun(pa arch.PhysAddr, n, stride int, class Class, write bool, misses []MissRef) (nmiss int) {
+	c.stats.Accesses[class] += uint64(n)
+	for i := 0; i < n; {
+		a := pa + arch.PhysAddr(i*stride)
+		la := uint32(a) >> c.lineShift
+		k := 1
+		for i+k < n && uint32(a+arch.PhysAddr(k*stride))>>c.lineShift == la {
+			k++
+		}
+		set := c.setLines(int(la & c.setMask))
+		want := la | lineKeyValid
+		way := -1
+		for w := range set {
+			if set[w].key == want {
+				way = w
+				break
+			}
+		}
+		c.seq += uint64(k)
+		if way >= 0 {
+			set[way].lru = c.seq
+			if write {
+				set[way].dirty = 1
+			}
+		} else {
+			c.stats.Misses[class] += uint64(k)
+			for j := 0; j < k; j++ {
+				misses[nmiss] = MissRef{Index: int32(i + j)}
+				nmiss++
+			}
+		}
+		i += k
+	}
+	return nmiss
+}
+
+// ZeroLineRun performs n consecutive dcbz line-establishes starting at
+// pa, exactly as n scalar ZeroLine calls. It returns how many dirty
+// victims were cast out in total.
+//
+//mmutricks:free castouts are returned; machine.ZeroLineRun charges them
+//mmutricks:noalloc
+func (c *Cache) ZeroLineRun(pa arch.PhysAddr, nlines int, class Class) (castouts int) {
+	for i := 0; i < nlines; i++ {
+		if c.ZeroLine(pa+arch.PhysAddr(i<<c.lineShift), class) {
+			castouts++
+		}
+	}
+	return castouts
+}
+
+// AccessInhibitedN counts n cache-inhibited accesses in one step.
+//
+//mmutricks:free the caller charges the uncached memory latency
+//mmutricks:noalloc
+func (c *Cache) AccessInhibitedN(class Class, n int) {
+	c.stats.Inhibited[class] += uint64(n)
 }
 
 // Prefetch issues a dcbt-style touch: the line is brought in (filling
@@ -279,10 +817,11 @@ func (c *Cache) ZeroLine(pa arch.PhysAddr, class Class) (castout bool) {
 //mmutricks:free prefetch latency overlaps; machine.Prefetch charges the issue cost
 func (c *Cache) Prefetch(pa arch.PhysAddr, class Class) (filled bool) {
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	lines := c.setLines(set)
+	want := tag | lineKeyValid
 	c.seq++
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i].lru = c.seq
 			return false
 		}
@@ -297,10 +836,11 @@ func (c *Cache) Prefetch(pa arch.PhysAddr, class Class) (filled bool) {
 //mmutricks:free deliberately uncounted warm-up, outside the measured window
 func (c *Cache) Touch(pa arch.PhysAddr, class Class) {
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	lines := c.setLines(set)
+	want := tag | lineKeyValid
 	c.seq++
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i].lru = c.seq
 			return
 		}
@@ -314,32 +854,78 @@ func (c *Cache) Touch(pa arch.PhysAddr, class Class) {
 //mmutricks:noalloc
 func (c *Cache) fill(set int, tag uint32, class Class, write bool) (castout bool) {
 	c.stats.Fills[class]++
-	lines := c.sets[set]
+	var dirty uint8
+	if c.ways == 4 {
+		q := (*[4]line)(c.lines[set*4:])
+		vi := 0
+		if q[0].key&q[1].key&q[2].key&q[3].key&lineKeyValid != 0 {
+			l0, l1, l2, l3 := q[0].lru, q[1].lru, q[2].lru, q[3].lru
+			m01, i01 := l0, 0
+			if l1 < l0 {
+				m01, i01 = l1, 1
+			}
+			m23, i23 := l2, 2
+			if l3 < l2 {
+				m23, i23 = l3, 3
+			}
+			vi = i01
+			if m23 < m01 {
+				vi = i23
+			}
+			c.stats.EvictedBy[q[vi].class&7][class]++
+			if q[vi].dirty != 0 {
+				c.stats.Castouts[q[vi].class&7]++
+				castout = true
+			}
+		} else {
+			switch {
+			case q[0].key&lineKeyValid == 0:
+			case q[1].key&lineKeyValid == 0:
+				vi = 1
+			case q[2].key&lineKeyValid == 0:
+				vi = 2
+			default:
+				vi = 3
+			}
+		}
+		if write {
+			dirty = 1
+		}
+		q[vi] = line{key: tag | lineKeyValid, class: uint8(class), dirty: dirty, lru: c.seq}
+		return castout
+	}
+	lines := c.setLines(set)
 	victim := 0
+	minLRU := ^uint64(0)
 	for i := range lines {
-		if !lines[i].valid {
+		if lines[i].key&lineKeyValid == 0 {
 			victim = i
 			goto install
 		}
-		if lines[i].lru < lines[victim].lru {
+		if lines[i].lru < minLRU {
+			minLRU = lines[i].lru
 			victim = i
 		}
 	}
 	c.stats.EvictedBy[lines[victim].class][class]++
-	if lines[victim].dirty {
+	if lines[victim].dirty != 0 {
 		c.stats.Castouts[lines[victim].class]++
 		castout = true
 	}
 install:
-	lines[victim] = line{valid: true, dirty: write, tag: tag, class: class, lru: c.seq}
+	if write {
+		dirty = 1
+	}
+	lines[victim] = line{key: tag | lineKeyValid, class: uint8(class), dirty: dirty, lru: c.seq}
 	return castout
 }
 
 // Contains reports whether the line holding pa is currently resident.
 func (c *Cache) Contains(pa arch.PhysAddr) bool {
 	set, tag := c.index(pa)
-	for _, l := range c.sets[set] {
-		if l.valid && l.tag == tag {
+	want := tag | lineKeyValid
+	for _, l := range c.setLines(set) {
+		if l.key == want {
 			return true
 		}
 	}
@@ -350,10 +936,8 @@ func (c *Cache) Contains(pa arch.PhysAddr) bool {
 //
 //mmutricks:free machine reset happens outside any measured window
 func (c *Cache) InvalidateAll() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
@@ -372,13 +956,13 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 //mmutricks:free a hardware parity flip costs the running program nothing
 //mmutricks:noalloc
 func (c *Cache) CorruptCleanLine(rnd uint64, avoid arch.PhysAddr) (victim arch.PhysAddr, ok bool) {
-	avoidTag := uint32(avoid) >> c.lineShift
+	avoidKey := (uint32(avoid) >> c.lineShift) | lineKeyValid
 	start := uint32(rnd) & c.setMask
-	for i := 0; i < len(c.sets); i++ {
-		set := c.sets[(start+uint32(i))&c.setMask]
+	for i := 0; i < c.Sets(); i++ {
+		set := c.setLines(int((start + uint32(i)) & c.setMask))
 		for j := range set {
-			if set[j].valid && !set[j].dirty && set[j].tag != avoidTag {
-				return arch.PhysAddr(set[j].tag) << c.lineShift, true
+			if set[j].key&lineKeyValid != 0 && set[j].dirty == 0 && set[j].key != avoidKey {
+				return arch.PhysAddr(set[j].key&^lineKeyValid) << c.lineShift, true
 			}
 		}
 	}
@@ -393,9 +977,10 @@ func (c *Cache) CorruptCleanLine(rnd uint64, avoid arch.PhysAddr) (victim arch.P
 //mmutricks:noalloc
 func (c *Cache) InvalidateLine(pa arch.PhysAddr) bool {
 	set, tag := c.index(pa)
-	lines := c.sets[set]
+	lines := c.setLines(set)
+	want := tag | lineKeyValid
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i].key == want {
 			lines[i] = line{}
 			return true
 		}
@@ -407,11 +992,9 @@ func (c *Cache) InvalidateLine(pa arch.PhysAddr) bool {
 // the cache, used by the §9 analysis.
 func (c *Cache) Residency() map[Class]int {
 	m := make(map[Class]int)
-	for i := range c.sets {
-		for _, l := range c.sets[i] {
-			if l.valid {
-				m[l.class]++
-			}
+	for i := range c.lines {
+		if c.lines[i].key&lineKeyValid != 0 {
+			m[Class(c.lines[i].class)]++
 		}
 	}
 	return m
@@ -420,11 +1003,9 @@ func (c *Cache) Residency() map[Class]int {
 // DirtyLines counts resident dirty lines — pending writebacks.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i := range c.sets {
-		for _, l := range c.sets[i] {
-			if l.valid && l.dirty {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].key&lineKeyValid != 0 && c.lines[i].dirty != 0 {
+			n++
 		}
 	}
 	return n

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"testing"
+
+	"mmutricks/internal/arch"
+)
+
+// AccessRunCount is the harness's hottest function: it must agree with
+// the scalar Access loop on every statistic and every line of cache
+// state, for any alignment, stride, and geometry. scalarCount is the
+// ground truth.
+func scalarCount(c *Cache, pa arch.PhysAddr, n, stride int, class Class, write bool) (nmiss, ncast int) {
+	for i := 0; i < n; i++ {
+		hit, castout := c.Access(pa+arch.PhysAddr(i*stride), class, write)
+		if !hit {
+			nmiss++
+			if castout {
+				ncast++
+			}
+		}
+	}
+	return nmiss, ncast
+}
+
+func TestAccessRunCountMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name             string
+		size, ways, line int
+		pa               arch.PhysAddr
+		n, stride        int
+		write            bool
+	}{
+		{"aligned line stride", 16 << 10, 4, 32, 0x10000, 4096, 32, false},
+		{"aligned write stream", 16 << 10, 4, 32, 0x10000, 4096, 32, true},
+		{"aligned wide stride", 32 << 10, 4, 32, 0x8000, 1024, 128, true},
+		{"unaligned base", 16 << 10, 4, 32, 0x10004, 2048, 32, false},
+		{"sub-line stride", 16 << 10, 4, 32, 0x10000, 5000, 8, true},
+		{"sub-line unaligned", 32 << 10, 4, 32, 0x10006, 3000, 12, false},
+		{"single reference", 16 << 10, 4, 32, 0x2000, 1, 4, true},
+		{"2-way geometry", 16 << 10, 2, 32, 0x10000, 2048, 32, true},
+		{"8-way geometry", 16 << 10, 8, 32, 0x10000, 2048, 32, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cr := New("run", tc.size, tc.ways, tc.line)
+			cs := New("scalar", tc.size, tc.ways, tc.line)
+			// Warm both caches identically so eviction and castout
+			// paths run, then compare the batched and scalar counts.
+			warm := func(c *Cache) {
+				for i := 0; i < 4096; i++ {
+					c.Access(arch.PhysAddr(i*tc.line), ClassKernelData, i%3 == 0)
+				}
+			}
+			warm(cr)
+			warm(cs)
+			rm, rc := cr.AccessRunCount(tc.pa, tc.n, tc.stride, ClassUser, tc.write)
+			sm, sc := scalarCount(cs, tc.pa, tc.n, tc.stride, ClassUser, tc.write)
+			if rm != sm || rc != sc {
+				t.Fatalf("counts diverge: run (%d misses, %d castouts), scalar (%d, %d)", rm, rc, sm, sc)
+			}
+			if *cr.Stats() != *cs.Stats() {
+				t.Fatalf("stats diverge:\nrun    %+v\nscalar %+v", *cr.Stats(), *cs.Stats())
+			}
+			if cr.seq != cs.seq {
+				t.Fatalf("LRU sequence diverges: run %d, scalar %d", cr.seq, cs.seq)
+			}
+			for i := range cr.lines {
+				if cr.lines[i] != cs.lines[i] {
+					t.Fatalf("line %d diverges: run %+v, scalar %+v", i, cr.lines[i], cs.lines[i])
+				}
+			}
+		})
+	}
+}
+
+// FuzzAccessRunCountParity drives random interleavings of batched and
+// scalar accesses over random geometries, checking that batched counts
+// never deviate and the final cache state is bit-identical.
+func FuzzAccessRunCountParity(f *testing.F) {
+	f.Add(uint8(0), uint32(0x10000), uint16(512), uint8(32), uint8(1))
+	f.Add(uint8(1), uint32(0x8004), uint16(3000), uint8(12), uint8(0))
+	f.Fuzz(func(t *testing.T, geom uint8, pa uint32, n uint16, stride, write uint8) {
+		ways := []int{2, 4, 8}[geom%3]
+		st := int(stride)%256 + 1
+		cr := New("run", 16<<10, ways, 32)
+		cs := New("scalar", 16<<10, ways, 32)
+		rm, rc := cr.AccessRunCount(arch.PhysAddr(pa), int(n), st, ClassUser, write%2 == 1)
+		sm, sc := scalarCount(cs, arch.PhysAddr(pa), int(n), st, ClassUser, write%2 == 1)
+		if rm != sm || rc != sc {
+			t.Fatalf("counts diverge: run (%d, %d), scalar (%d, %d)", rm, rc, sm, sc)
+		}
+		if *cr.Stats() != *cs.Stats() || cr.seq != cs.seq {
+			t.Fatal("stats or LRU sequence diverge")
+		}
+		for i := range cr.lines {
+			if cr.lines[i] != cs.lines[i] {
+				t.Fatalf("line %d diverges", i)
+			}
+		}
+	})
+}
+
+// The batch paths must stay allocation-free: they run inside the
+// noalloc-proved simulation core, and a hidden allocation would also
+// wreck the throughput the batching exists for.
+func TestAccessRunZeroAllocs(t *testing.T) {
+	c := New("d", 32<<10, 4, 32)
+	var missBuf [256]MissRef
+	var pa arch.PhysAddr
+	if n := testing.AllocsPerRun(200, func() {
+		c.AccessRun(pa, 128, 32, ClassUser, true, missBuf[:])
+		c.AccessRunCount(pa, 128, 32, ClassUser, true)
+		c.AccessRunCount(pa+4, 100, 12, ClassUser, false)
+		pa += 4096
+	}); n != 0 {
+		t.Fatalf("batched access paths allocate %.1f times per op, want 0", n)
+	}
+}
+
+// BenchmarkAccessRun vs BenchmarkAccessScalar measures the batching
+// win at the cache layer: one call per 128-reference streak against
+// 128 scalar calls, on the miss-heavy streaming pattern the harness
+// spends most of its time in (page clears, copies, sweeps).
+func BenchmarkAccessRun(b *testing.B) {
+	c := New("d", 16<<10, 4, 32)
+	var pa arch.PhysAddr
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AccessRunCount(pa, 128, 32, ClassUser, true)
+		pa += 4096
+	}
+}
+
+func BenchmarkAccessScalar(b *testing.B) {
+	c := New("d", 16<<10, 4, 32)
+	var pa arch.PhysAddr
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 128; j++ {
+			c.Access(pa+arch.PhysAddr(j*32), ClassUser, true)
+		}
+		pa += 4096
+	}
+}

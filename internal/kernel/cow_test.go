@@ -117,7 +117,7 @@ func TestCOWExitReleasesSharedFrames(t *testing.T) {
 
 // freeHeld counts frames a live task holds (for leak baselines).
 func freeHeld(k *Kernel, t *Task) int {
-	n := len(t.owned)
+	n := t.owned.len()
 	n += t.PT.PTEPages() + 1 // PTE pages + PGD
 	return n
 }

@@ -33,9 +33,7 @@ func (k *Kernel) fetchPhysText(off uint32, n int) {
 	line := k.M.LineSize()
 	instrPerLine := line / 4
 	lines := (n + instrPerLine - 1) / instrPerLine
-	for i := 0; i < lines; i++ {
-		k.M.Fetch(k.textPA+arch.PhysAddr(off)+arch.PhysAddr(i*line), cache.ClassKernelText, false)
-	}
+	k.M.FetchRun(k.textPA+arch.PhysAddr(off), lines, line, cache.ClassKernelText, false)
 }
 
 // handlerOverhead charges the fixed part of a software fault handler:
@@ -72,9 +70,10 @@ func (k *Kernel) kexecHandler(off uint32, n int) {
 	instrPerLine := line / 4
 	lines := (uint32(n) + instrPerLine - 1) / instrPerLine
 	base := uint32(kvirt(k.textPA)) + off
-	for i := uint32(0); i < lines; i++ {
-		k.access(k.cur, arch.EffectiveAddr(base+i*line), true, cache.ClassKernelText, false)
-	}
+	k.AccessRun(k.cur, Run{
+		EA: arch.EffectiveAddr(base), Count: int(lines), Stride: int(line),
+		Class: cache.ClassKernelText, Instr: true,
+	})
 }
 
 // kdataDirect performs kernel-data accesses physically (handlers with
@@ -82,9 +81,7 @@ func (k *Kernel) kexecHandler(off uint32, n int) {
 func (k *Kernel) kdataDirect(off uint32, nbytes int, write bool) {
 	line := k.M.LineSize()
 	base := k.dataPA + arch.PhysAddr(off)
-	for i := 0; i < nbytes; i += line {
-		k.M.MemAccess(base+arch.PhysAddr(i), cache.ClassKernelData, false, write)
-	}
+	k.M.MemAccessRun(base, (nbytes+line-1)/line, line, cache.ClassKernelData, false, write)
 }
 
 // handleFault services a TLB miss (603) or hash-table miss (604).
@@ -370,10 +367,7 @@ func (k *Kernel) getFreePage() arch.PFN {
 	if k.cfg.BzeroDCBZ {
 		// bzero via dcbz: one cycle per line, no memory reads, maximal
 		// cache pollution (§9's rejected bzero implementation).
-		line := k.M.LineSize()
-		for off := 0; off < arch.PageSize; off += line {
-			k.M.ZeroLine(pfn.Addr()+arch.PhysAddr(off), cache.ClassKernelData)
-		}
+		k.M.ZeroLineRun(pfn.Addr(), arch.PageSize/k.M.LineSize(), cache.ClassKernelData)
 		return pfn
 	}
 	// Synchronous clear: one store per line over the whole page.

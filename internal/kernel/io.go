@@ -113,9 +113,15 @@ func (k *Kernel) FBWrite(off, nbytes int) {
 		panic("kernel: FBWrite with no current task")
 	}
 	line := k.M.LineSize()
-	for i := 0; i < nbytes; i += line {
-		o := (off + i) % fbBytes
-		k.access(k.cur, UserFBBase+arch.EffectiveAddr(o), false, cache.ClassIO, true)
+	total := (nbytes + line - 1) / line
+	for done := 0; done < total; {
+		o := (off + done*line) % fbBytes
+		cnt := min(total-done, (fbBytes-o+line-1)/line)
+		k.AccessRun(k.cur, Run{
+			EA: UserFBBase + arch.EffectiveAddr(o), Count: cnt, Stride: line,
+			Class: cache.ClassIO, Write: true,
+		})
+		done += cnt
 	}
 }
 
@@ -123,8 +129,14 @@ func (k *Kernel) FBWrite(off, nbytes int) {
 // own I/O window.
 func (k *Kernel) KernelFBWrite(off, nbytes int) {
 	line := k.M.LineSize()
-	for i := 0; i < nbytes; i += line {
-		o := (off + i) % fbBytes
-		k.access(k.cur, KernelFBBase+arch.EffectiveAddr(o), false, cache.ClassIO, true)
+	total := (nbytes + line - 1) / line
+	for done := 0; done < total; {
+		o := (off + done*line) % fbBytes
+		cnt := min(total-done, (fbBytes-o+line-1)/line)
+		k.AccessRun(k.cur, Run{
+			EA: KernelFBBase + arch.EffectiveAddr(o), Count: cnt, Stride: line,
+			Class: cache.ClassIO, Write: true,
+		})
+		done += cnt
 	}
 }

@@ -58,6 +58,11 @@ type Kernel struct {
 	// accesses it performs do not themselves poll the fault injector or
 	// try to deliver nested machine checks.
 	inMC bool
+
+	// kxlat holds the last-translation fastpath records (data, instr)
+	// for accesses issued in pure kernel context (t == nil); per-task
+	// records live on the Task.
+	kxlat [2]xlatRec
 }
 
 // kernelTextBytes and kernelDataBytes size the kernel image regions.
@@ -179,15 +184,17 @@ func (k *Kernel) access(t *Task, ea arch.EffectiveAddr, instr bool, class cache.
 	}
 }
 
-// translate resolves ea through the MMU, running the software fault
-// paths until the translation succeeds.
-func (k *Kernel) translate(t *Task, ea arch.EffectiveAddr, instr bool) (arch.PhysAddr, bool) {
+// translateSlow resolves ea through the full MMU walk, running the
+// software fault paths until the translation succeeds, and refreshes
+// the last-translation record for the fastpath in translate (run.go).
+func (k *Kernel) translateSlow(t *Task, ea arch.EffectiveAddr, instr bool) (arch.PhysAddr, bool) {
 	for tries := 0; ; tries++ {
 		if tries > 8 {
 			panic(fmt.Sprintf("kernel: access %v not making progress", ea))
 		}
 		r := k.M.MMU.Translate(ea, instr)
 		if r.Fault == ppc.FaultNone {
+			k.note(t, ea, instr, r.PA, r.Inhibited, r.ViaBAT)
 			return r.PA, r.Inhibited
 		}
 		k.handleFault(t, ea, r, instr)
@@ -203,9 +210,10 @@ func (k *Kernel) kexec(off uint32, n int) {
 	instrPerLine := line / 4
 	lines := (uint32(n) + instrPerLine - 1) / instrPerLine
 	base := uint32(kvirt(k.textPA)) + off
-	for i := uint32(0); i < lines; i++ {
-		k.access(k.cur, arch.EffectiveAddr(base+i*line), true, cache.ClassKernelText, false)
-	}
+	k.AccessRun(k.cur, Run{
+		EA: arch.EffectiveAddr(base), Count: int(lines), Stride: int(line),
+		Class: cache.ClassKernelText, Instr: true,
+	})
 }
 
 // kdata performs read accesses covering nbytes of kernel static data at
@@ -218,9 +226,10 @@ func (k *Kernel) kdataW(off uint32, nbytes int) { k.kdataRW(off, nbytes, true) }
 func (k *Kernel) kdataRW(off uint32, nbytes int, write bool) {
 	line := k.M.LineSize()
 	base := uint32(kvirt(k.dataPA)) + off
-	for i := 0; i < nbytes; i += line {
-		k.access(k.cur, arch.EffectiveAddr(base+uint32(i)), false, cache.ClassKernelData, write)
-	}
+	k.AccessRun(k.cur, Run{
+		EA: arch.EffectiveAddr(base), Count: (nbytes + line - 1) / line, Stride: line,
+		Class: cache.ClassKernelData, Write: write,
+	})
 }
 
 // kframe performs data accesses covering nbytes of an arbitrary
@@ -229,9 +238,10 @@ func (k *Kernel) kdataRW(off uint32, nbytes int, write bool) {
 func (k *Kernel) kframe(pfn arch.PFN, off, nbytes int, class cache.Class, write bool) {
 	line := k.M.LineSize()
 	base := uint32(kvirt(pfn.Addr())) + uint32(off)
-	for i := 0; i < nbytes; i += line {
-		k.access(k.cur, arch.EffectiveAddr(base+uint32(i)), false, class, write)
-	}
+	k.AccessRun(k.cur, Run{
+		EA: arch.EffectiveAddr(base), Count: (nbytes + line - 1) / line, Stride: line,
+		Class: class, Write: write,
+	})
 }
 
 // utouch performs user-mode data accesses covering [ea, ea+nbytes), one
@@ -240,7 +250,23 @@ func (k *Kernel) kframe(pfn arch.PFN, off, nbytes int, class cache.Class, write 
 // four accesses.
 func (k *Kernel) utouch(ea arch.EffectiveAddr, nbytes int) {
 	line := k.M.LineSize()
-	for i := 0; i < nbytes; i += line {
-		k.access(k.cur, ea+arch.EffectiveAddr(i), false, cache.ClassUser, (i/line)%4 == 3)
+	n := (nbytes + line - 1) / line
+	for j := 0; j < n; {
+		reads := 3
+		if rem := n - j; rem < reads {
+			reads = rem
+		}
+		k.AccessRun(k.cur, Run{
+			EA: ea + arch.EffectiveAddr(j*line), Count: reads, Stride: line,
+			Class: cache.ClassUser,
+		})
+		j += reads
+		if j < n {
+			k.AccessRun(k.cur, Run{
+				EA: ea + arch.EffectiveAddr(j*line), Count: 1, Stride: line,
+				Class: cache.ClassUser, Write: true,
+			})
+			j++
+		}
 	}
 }

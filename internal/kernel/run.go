@@ -1,0 +1,213 @@
+package kernel
+
+// The batched reference pipeline. Long kernel and user loops touch
+// memory in equally-strided streaks that stay on one page for dozens
+// of references; the scalar path pays a full MMU translation for every
+// one of them. A Run resolves the translation once per page streak,
+// replays the per-reference translation side effects (hit counters,
+// TLB LRU/sequence) in closed form, and hands the streak to the
+// machine's batch cache simulation. Anything that can deviate from
+// the straight-line pattern — fault injection, COW/RO write checks —
+// forces the scalar loop, so counters, trace emits, and cycle charges
+// stay reference-for-reference identical to scalar execution.
+
+import (
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+)
+
+// Run describes a batch of references sharing class, width, and
+// direction: Count references at EA, EA+Stride, ... Stride is in
+// bytes and must be positive.
+type Run struct {
+	EA     arch.EffectiveAddr
+	Count  int
+	Stride int
+	Class  cache.Class
+	Write  bool
+	Instr  bool
+}
+
+// xlatRec is one remembered translation: the per-task (and per-side)
+// last-translation fastpath consulted before the full MMU walk. It is
+// valid only while the MMU's translation generation still equals gen —
+// the generation advances on every TLB invalidation, BAT register
+// change, and segment load (which covers context switches, VSID
+// reassignment, and machine-check repair), so a stale record can never
+// produce a hit. TLB-sourced records additionally revalidate the
+// remembered way on use, which covers silent eviction by TLB inserts.
+type xlatRec struct {
+	gen  uint64
+	page arch.EffectiveAddr // EA of the page the record translates
+	// paPage is the physical page base (BAT records only; BAT blocks
+	// are page-linear, so pa = paPage + page offset).
+	paPage    arch.PhysAddr
+	way       int8 // TLB way holding the translation (TLB records)
+	viaBAT    bool
+	inhibited bool
+}
+
+// pageOf returns the page-aligned base of ea.
+//
+//mmutricks:noalloc
+func pageOf(ea arch.EffectiveAddr) arch.EffectiveAddr {
+	return ea &^ arch.EffectiveAddr(arch.PageSize-1)
+}
+
+// xrec returns the fastpath record for the given task and access side
+// (the kernel's own records when t is nil).
+//
+//mmutricks:noalloc
+func (k *Kernel) xrec(t *Task, instr bool) *xlatRec {
+	side := 0
+	if instr {
+		side = 1
+	}
+	if t != nil {
+		return &t.xlat[side]
+	}
+	return &k.kxlat[side]
+}
+
+// translate resolves ea, consulting the last-translation record before
+// the full MMU walk. A record hit performs exactly the counter and TLB
+// side effects of the scalar walk it replaces (BATHits++, or a hitting
+// TLB lookup at the remembered way); everything else — generation
+// mismatch, page mismatch, stale way, attached injector — falls back
+// to the full walk.
+//
+//mmutricks:noalloc
+func (k *Kernel) translate(t *Task, ea arch.EffectiveAddr, instr bool) (arch.PhysAddr, bool) {
+	mmu := k.M.MMU
+	if k.M.Inj == nil {
+		rec := k.xrec(t, instr)
+		if rec.gen == mmu.Gen() && rec.page == pageOf(ea) {
+			if rec.viaBAT {
+				k.M.Mon.BATHits++
+				return rec.paPage + arch.PhysAddr(ea.Offset()), rec.inhibited
+			}
+			// The generation proves no BAT was programmed over this
+			// page since the record was minted (the scalar walk would
+			// still fall through the BAT compare) and the segment is
+			// unchanged, so the VPN is the same.
+			vpn := mmu.VPNFor(ea)
+			if rpn, inh, ok := mmu.TLBFor(instr).LookupWay(vpn, rec.way); ok {
+				k.M.Mon.TLBHits++
+				return rpn.Addr() + arch.PhysAddr(ea.Offset()), inh
+			}
+		}
+	}
+	return k.translateSlow(t, ea, instr) //mmutricks:noalloc-ok the slow path runs the allocating fault handlers by design
+}
+
+// note refreshes the last-translation record after a successful full
+// walk. With an injector attached the fastpath is disabled, so there
+// is nothing to remember.
+func (k *Kernel) note(t *Task, ea arch.EffectiveAddr, instr bool, pa arch.PhysAddr, inhibited, viaBAT bool) {
+	if k.M.Inj != nil {
+		return
+	}
+	mmu := k.M.MMU
+	rec := k.xrec(t, instr)
+	if viaBAT {
+		*rec = xlatRec{
+			gen: mmu.Gen(), page: pageOf(ea),
+			paPage: pa - arch.PhysAddr(ea.Offset()),
+			viaBAT: true, inhibited: inhibited,
+		}
+		return
+	}
+	if way, ok := mmu.TLBFor(instr).WayOf(mmu.VPNFor(ea)); ok {
+		*rec = xlatRec{gen: mmu.Gen(), page: pageOf(ea), way: way, inhibited: inhibited}
+		return
+	}
+	*rec = xlatRec{}
+}
+
+// replayHits performs the translation side effects of n further
+// references to ea's page, which are guaranteed hits: the first
+// reference of the streak just resolved, and cache traffic mutates no
+// translation state. It mirrors the hardware priority — BAT compare
+// first, then the TLB way.
+//
+//mmutricks:noalloc
+func (k *Kernel) replayHits(ea arch.EffectiveAddr, instr bool, n int) {
+	mmu := k.M.MMU
+	bats := &mmu.DBAT
+	if instr {
+		bats = &mmu.IBAT
+	}
+	if _, _, ok := bats.Lookup(ea); ok {
+		k.M.Mon.BATHits += uint64(n)
+		return
+	}
+	vpn := mmu.VPNFor(ea)
+	tlb := mmu.TLBFor(instr)
+	way, ok := tlb.WayOf(vpn)
+	if !ok {
+		panic("kernel: replayHits: translation vanished inside a run")
+	}
+	tlb.ReplayWay(vpn, way, n)
+	k.M.Mon.TLBHits += uint64(n)
+}
+
+// dataResident reports whether a data translation for ea is currently
+// resident (BAT-covered or held in the DTLB) — i.e. whether a repeat
+// reference is a guaranteed hit.
+//
+//mmutricks:noalloc
+func (k *Kernel) dataResident(ea arch.EffectiveAddr) bool {
+	mmu := k.M.MMU
+	if _, _, ok := mmu.DBAT.Lookup(ea); ok {
+		return true
+	}
+	_, ok := mmu.TLB.WayOf(mmu.VPNFor(ea))
+	return ok
+}
+
+// AccessRun performs r.Count accesses on behalf of task t, splitting
+// the run at page boundaries: one translation (and fault resolution)
+// per page streak, batched cache simulation for the streak's
+// references. Fault injection and pending COW/RO write checks force
+// the scalar loop — those paths must observe every reference.
+//
+//mmutricks:noalloc
+func (k *Kernel) AccessRun(t *Task, r Run) {
+	if r.Count <= 0 {
+		return
+	}
+	if k.M.Inj != nil ||
+		(r.Write && t != nil && !r.EA.IsKernel() && (len(t.cowPages) > 0 || len(t.roPages) > 0)) {
+		for i := 0; i < r.Count; i++ {
+			k.access(t, r.EA+arch.EffectiveAddr(i*r.Stride), r.Instr, r.Class, r.Write) //mmutricks:noalloc-ok scalar fallback runs the allocating fault/COW paths by design
+		}
+		return
+	}
+	ea := r.EA
+	n := r.Count
+	for n > 0 {
+		off := int(ea.Offset())
+		var cnt int
+		if off+(n-1)*r.Stride < arch.PageSize {
+			// Whole remainder fits this page — the common shape, no
+			// division needed.
+			cnt = n
+		} else {
+			cnt = (arch.PageSize-1-off)/r.Stride + 1
+			if cnt > n {
+				cnt = n
+			}
+		}
+		pa, inh := k.translate(t, ea, r.Instr)
+		if cnt > 1 {
+			k.replayHits(ea, r.Instr, cnt-1)
+		}
+		if r.Instr {
+			k.M.FetchRun(pa, cnt, r.Stride, r.Class, inh)
+		} else {
+			k.M.MemAccessRun(pa, cnt, r.Stride, r.Class, inh, r.Write)
+		}
+		ea += arch.EffectiveAddr(cnt * r.Stride)
+		n -= cnt
+	}
+}

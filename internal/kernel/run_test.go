@@ -1,0 +1,226 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"mmutricks/internal/arch"
+	"mmutricks/internal/cache"
+	"mmutricks/internal/clock"
+	"mmutricks/internal/hwmon"
+)
+
+// The batched reference pipeline's contract is exact equivalence: a Run
+// must leave every observable — hwmon counters, cycle ledger, cache
+// statistics, TLB contents — in precisely the state the scalar loop
+// would. These tests drive two identically booted kernels, one through
+// AccessRun and one through the scalar access loop, and compare the
+// full observable state after every step.
+
+// scalarRun replays r reference-for-reference through the scalar access
+// path — the ground truth the batched pipeline must reproduce.
+func scalarRun(k *Kernel, t *Task, r Run) {
+	for i := 0; i < r.Count; i++ {
+		k.access(t, r.EA+arch.EffectiveAddr(i*r.Stride), r.Instr, r.Class, r.Write)
+	}
+}
+
+// runObs is the complete observable state the equivalence proof
+// compares. Anything the harness can render derives from these.
+type runObs struct {
+	Mon    hwmon.Counters
+	Cycles clock.Cycles
+	DStats cache.Stats
+	IStats cache.Stats
+	DTLB   map[arch.VPN]arch.PFN
+	ITLB   map[arch.VPN]arch.PFN
+	Gen    uint64
+}
+
+func observeRun(k *Kernel) runObs {
+	return runObs{
+		Mon:    k.M.Mon.Snapshot(),
+		Cycles: k.M.Led.Now(),
+		DStats: *k.M.DCache.Stats(),
+		IStats: *k.M.ICache.Stats(),
+		DTLB:   k.M.MMU.TLB.Snapshot(),
+		ITLB:   k.M.MMU.ITLB.Snapshot(),
+		Gen:    k.M.MMU.Gen(),
+	}
+}
+
+// runStep is one step of a differential script: a batch of references
+// and/or a translation-invalidating event, applied identically to both
+// twins.
+type runStep struct {
+	name string
+	run  *Run
+	op   func(k *Kernel, t *Task)
+}
+
+func diffRun(t *testing.T, model clock.CPUModel, cfg Config, steps []runStep) {
+	t.Helper()
+	kb, tb := bootTask(t, model, cfg)
+	ks, ts := bootTask(t, model, cfg)
+	if b, s := observeRun(kb), observeRun(ks); !reflect.DeepEqual(b, s) {
+		t.Fatalf("twins diverge before the script runs:\nbatched %+v\nscalar  %+v", b, s)
+	}
+	for _, st := range steps {
+		if st.run != nil {
+			kb.AccessRun(tb, *st.run)
+			scalarRun(ks, ts, *st.run)
+		}
+		if st.op != nil {
+			st.op(kb, tb)
+			st.op(ks, ts)
+		}
+		b, s := observeRun(kb), observeRun(ks)
+		if !reflect.DeepEqual(b, s) {
+			t.Fatalf("%s: batched and scalar state diverge\nbatched %+v\nscalar  %+v", st.name, b, s)
+		}
+	}
+}
+
+func TestAccessRunMatchesScalar(t *testing.T) {
+	line := 32
+	steps := []runStep{
+		{name: "cold user stream, word stride", run: &Run{EA: UserDataBase, Count: 3000, Stride: 4, Class: cache.ClassUser}},
+		{name: "warm re-walk", run: &Run{EA: UserDataBase, Count: 3000, Stride: 4, Class: cache.ClassUser}},
+		{name: "write stream, line stride", run: &Run{EA: UserDataBase, Count: 600, Stride: line, Class: cache.ClassUser, Write: true}},
+		{name: "castout pressure, page-crossing", run: &Run{EA: UserDataBase + 0x8000, Count: 4096, Stride: line, Class: cache.ClassUser, Write: true}},
+		{name: "single reference", run: &Run{EA: UserDataBase + 12, Count: 1, Stride: 4, Class: cache.ClassUser}},
+		{name: "two-line stride", run: &Run{EA: UserDataBase, Count: 300, Stride: 2 * line, Class: cache.ClassUser}},
+		{name: "unaligned sub-line stride", run: &Run{EA: UserDataBase + 6, Count: 2000, Stride: 12, Class: cache.ClassUser}},
+		{name: "instruction fetch stream", run: &Run{EA: UserTextBase, Count: 500, Stride: line, Class: cache.ClassUser, Instr: true}},
+		{name: "tlb flush then re-walk",
+			op: func(k *Kernel, _ *Task) { k.M.MMU.InvalidateTLBs() }},
+		{name: "stream after flush must re-translate", run: &Run{EA: UserDataBase, Count: 2000, Stride: 4, Class: cache.ClassUser}},
+		{name: "segment reload then re-walk",
+			op: func(k *Kernel, _ *Task) {
+				k.M.MMU.SetSegment(int(UserDataBase>>28), k.M.MMU.Segment(int(UserDataBase>>28)))
+			}},
+		{name: "stream after segment reload", run: &Run{EA: UserDataBase, Count: 1000, Stride: 4, Class: cache.ClassUser}},
+		{name: "single-vpn invalidate",
+			op: func(k *Kernel, _ *Task) { k.M.MMU.InvalidateVPNAll(k.M.MMU.VPNFor(UserDataBase)) }},
+		{name: "stream after vpn invalidate", run: &Run{EA: UserDataBase, Count: 64, Stride: 4, Class: cache.ClassUser}},
+	}
+	for _, model := range []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()} {
+		for _, cfg := range []struct {
+			name string
+			cfg  Config
+		}{{"unoptimized", Unoptimized()}, {"optimized", Optimized()}} {
+			t.Run(model.Name+"/"+cfg.name, func(t *testing.T) {
+				diffRun(t, model, cfg.cfg, steps)
+			})
+		}
+	}
+}
+
+// A context switch reloads segment registers, which advances the
+// translation generation; a batched kernel that kept honoring the old
+// task's cached translation would charge the wrong stream. The switch
+// itself runs scheduler code, so the twins run it identically and the
+// comparison covers the whole sequence.
+func TestAccessRunAcrossContextSwitch(t *testing.T) {
+	kb, tb := bootTask(t, clock.PPC604At185(), Unoptimized())
+	ks, ts := bootTask(t, clock.PPC604At185(), Unoptimized())
+	tb2 := kb.Spawn(kb.LoadImage("other", 8))
+	ts2 := ks.Spawn(ks.LoadImage("other", 8))
+
+	r := Run{EA: UserDataBase, Count: 2000, Stride: 4, Class: cache.ClassUser, Write: true}
+	kb.AccessRun(tb, r)
+	scalarRun(ks, ts, r)
+
+	kb.Switch(tb2)
+	ks.Switch(ts2)
+	kb.AccessRun(tb2, r)
+	scalarRun(ks, ts2, r)
+
+	kb.Switch(tb)
+	ks.Switch(ts)
+	kb.AccessRun(tb, r)
+	scalarRun(ks, ts, r)
+
+	b, s := observeRun(kb), observeRun(ks)
+	if !reflect.DeepEqual(b, s) {
+		t.Fatalf("batched and scalar state diverge across context switches\nbatched %+v\nscalar  %+v", b, s)
+	}
+}
+
+// Once a page is resident the whole batched pipeline — fastpath
+// translation, hit replay, batch cache simulation — must run without
+// allocating: it executes under the noalloc proof and inside every
+// harness inner loop.
+func TestAccessRunZeroAllocsWhenResident(t *testing.T) {
+	k, task := bootTask(t, clock.PPC604At185(), Unoptimized())
+	r := Run{EA: UserDataBase, Count: 1024, Stride: 4, Class: cache.ClassUser, Write: true}
+	k.AccessRun(task, r) // fault the pages in
+	if n := testing.AllocsPerRun(100, func() {
+		k.AccessRun(task, r)
+	}); n != 0 {
+		t.Fatalf("resident AccessRun allocates %.1f times per op, want 0", n)
+	}
+}
+
+// FuzzAccessRunParity feeds arbitrary scripts of runs and invalidation
+// events to the batched/scalar twins. Any reachable combination of
+// stride, width, page crossing, flushes, and context switches in which
+// the batched pipeline's counter stream deviates from scalar execution
+// is a bug.
+func FuzzAccessRunParity(f *testing.F) {
+	f.Add([]byte{0, 10, 2, 1, 40, 1, 3, 0, 4})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 1, 255, 31, 0, 5})
+	f.Add([]byte{4, 9, 9, 9, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		kb, tb := bootTask(t, clock.PPC604At185(), Unoptimized())
+		ks, ts := bootTask(t, clock.PPC604At185(), Unoptimized())
+		i := 0
+		next := func() int {
+			if i >= len(script) {
+				return 0
+			}
+			v := int(script[i])
+			i++
+			return v
+		}
+		for steps := 0; i < len(script) && steps < 64; steps++ {
+			switch next() % 6 {
+			case 0, 1: // data run (the common case gets more weight)
+				r := Run{
+					EA:     UserDataBase + arch.EffectiveAddr(next()*64),
+					Count:  next()*16 + 1,
+					Stride: next()%128 + 1,
+					Class:  cache.ClassUser,
+					Write:  next()%2 == 1,
+				}
+				kb.AccessRun(tb, r)
+				scalarRun(ks, ts, r)
+			case 2: // instruction run
+				r := Run{
+					EA:     UserTextBase + arch.EffectiveAddr(next()*32),
+					Count:  next()%256 + 1,
+					Stride: next()%64 + 1,
+					Class:  cache.ClassUser,
+					Instr:  true,
+				}
+				kb.AccessRun(tb, r)
+				scalarRun(ks, ts, r)
+			case 3:
+				kb.M.MMU.InvalidateTLBs()
+				ks.M.MMU.InvalidateTLBs()
+			case 4:
+				vpn := kb.M.MMU.VPNFor(UserDataBase + arch.EffectiveAddr(next()*4096))
+				kb.M.MMU.InvalidateVPNAll(vpn)
+				ks.M.MMU.InvalidateVPNAll(vpn)
+			case 5:
+				seg := int(UserDataBase >> 28)
+				kb.M.MMU.SetSegment(seg, kb.M.MMU.Segment(seg))
+				ks.M.MMU.SetSegment(seg, ks.M.MMU.Segment(seg))
+			}
+			b, s := observeRun(kb), observeRun(ks)
+			if !reflect.DeepEqual(b, s) {
+				t.Fatalf("step %d: batched and scalar state diverge\nbatched %+v\nscalar  %+v", steps, b, s)
+			}
+		}
+	})
+}

@@ -159,9 +159,7 @@ func (k *Kernel) clearPageIdle(pfn arch.PFN, inhibited bool) {
 	start := k.M.Led.Now()
 	k.kexec(textIdle+0x200, idleClearInstr)
 	line := k.M.LineSize()
-	for off := 0; off < arch.PageSize; off += line {
-		k.M.MemAccess(pfn.Addr()+arch.PhysAddr(off), cache.ClassIdle, inhibited, true)
-	}
+	k.M.MemAccessRun(pfn.Addr(), arch.PageSize/line, line, cache.ClassIdle, inhibited, true)
 	// EA carries the physical frame address: the page has no virtual
 	// identity yet.
 	k.M.Trc.Emit(mmtrace.KindPageZero, 0, arch.EffectiveAddr(pfn.Addr()), k.M.Led.Now()-start, 0)

@@ -127,10 +127,44 @@ func (k *Kernel) SysPipeRead(p *Pipe, dst arch.EffectiveAddr, n int) int {
 func (k *Kernel) copyUserKernel(user arch.EffectiveAddr, frame arch.PFN, frameOff, n int, toKernel bool) {
 	k.kexec(textCopyInOut, 20+(n/k.M.LineSize()))
 	line := k.M.LineSize()
-	for i := 0; i < n; i += line {
-		k.access(k.cur, user+arch.EffectiveAddr(i), false, cache.ClassUser, !toKernel)
-		koff := (frameOff + i) % arch.PageSize
-		k.M.MemAccess(frame.Addr()+arch.PhysAddr(koff), cache.ClassKernelData, false, toKernel)
+	t := k.cur
+	userWrite := !toKernel
+	if k.M.Inj != nil || (userWrite && t != nil && (len(t.cowPages) > 0 || len(t.roPages) > 0)) {
+		// Injection polls and pending COW/RO write checks are
+		// per-reference; keep the scalar interleaving.
+		for i := 0; i < n; i += line {
+			k.access(t, user+arch.EffectiveAddr(i), false, cache.ClassUser, userWrite)
+			koff := (frameOff + i) % arch.PageSize
+			k.M.MemAccess(frame.Addr()+arch.PhysAddr(koff), cache.ClassKernelData, false, toKernel)
+		}
+		k.M.Led.Charge(clock.Cycles(2 * (n / line)))
+		return
+	}
+	total := (n + line - 1) / line
+	done := 0
+	for done < total {
+		ea := user + arch.EffectiveAddr(done*line)
+		koff := (frameOff + done*line) % arch.PageSize
+		// Chunk: stay on the user page and inside the (wrapping) frame.
+		cnt := min(total-done, min(
+			(arch.PageSize-int(ea.Offset())+line-1)/line,
+			(arch.PageSize-koff+line-1)/line))
+		// The first reference translates through the full path, so a
+		// user fault resolves at the exact scalar point in the stream.
+		pa, inh := k.translate(t, ea, false)
+		if inh {
+			// Inhibited user page: per-reference latency and emits.
+			k.M.MemAccess(pa, cache.ClassUser, true, userWrite)
+			k.M.MemAccess(frame.Addr()+arch.PhysAddr(koff), cache.ClassKernelData, false, toKernel)
+			done++
+			continue
+		}
+		if cnt > 1 {
+			k.replayHits(ea, false, cnt-1)
+		}
+		k.M.MemPairRun(pa, frame.Addr()+arch.PhysAddr(koff), cnt, line,
+			cache.ClassUser, cache.ClassKernelData, userWrite, toKernel)
+		done += cnt
 	}
 	k.M.Led.Charge(clock.Cycles(2 * (n / line)))
 }
@@ -329,9 +363,14 @@ func (k *Kernel) UserRun(textPage, n int) {
 	// Wrap fetches within the image's text so the footprint is the
 	// image's, not unbounded.
 	span := t.image.TextPages * arch.PageSize
-	for i := 0; i < lines; i++ {
+	for i := 0; i < lines; {
 		off := (i * line) % span
-		k.access(t, base+arch.EffectiveAddr(off), true, cache.ClassUser, false)
+		cnt := min(lines-i, (span-off)/line)
+		k.AccessRun(t, Run{
+			EA: base + arch.EffectiveAddr(off), Count: cnt, Stride: line,
+			Class: cache.ClassUser, Instr: true,
+		})
+		i += cnt
 	}
 }
 
@@ -349,9 +388,7 @@ func (k *Kernel) UserTouchPages(ea arch.EffectiveAddr, n int) {
 	if k.cur == nil {
 		panic("kernel: UserTouchPages with no current task")
 	}
-	for i := 0; i < n; i++ {
-		k.access(k.cur, ea+arch.EffectiveAddr(i*arch.PageSize), false, cache.ClassUser, false)
-	}
+	k.AccessRun(k.cur, Run{EA: ea, Count: n, Stride: arch.PageSize, Class: cache.ClassUser})
 }
 
 // UserRef performs a single user-mode data reference at ea — the
@@ -361,6 +398,16 @@ func (k *Kernel) UserRef(ea arch.EffectiveAddr, write bool) {
 		panic("kernel: UserRef with no current task")
 	}
 	k.access(k.cur, ea, false, cache.ClassUser, write)
+}
+
+// UserRefRun performs count equally-strided user-mode data references
+// starting at ea — the batched form of UserRef for generators that can
+// describe their stream as runs.
+func (k *Kernel) UserRefRun(ea arch.EffectiveAddr, count, stride int, write bool) {
+	if k.cur == nil {
+		panic("kernel: UserRefRun with no current task")
+	}
+	k.AccessRun(k.cur, Run{EA: ea, Count: count, Stride: stride, Class: cache.ClassUser, Write: write})
 }
 
 // UserZero clears nbytes at ea from user mode, either with ordinary
@@ -373,20 +420,46 @@ func (k *Kernel) UserZero(ea arch.EffectiveAddr, nbytes int, dcbz bool) {
 		panic("kernel: UserZero with no current task")
 	}
 	line := k.M.LineSize()
-	for i := 0; i < nbytes; i += line {
-		a := ea + arch.EffectiveAddr(i)
-		if t.isCOW(a.PageNumber()) {
-			k.cowBreak(t, a)
+	if k.M.Inj != nil || len(t.cowPages) > 0 {
+		for i := 0; i < nbytes; i += line {
+			a := ea + arch.EffectiveAddr(i)
+			if t.isCOW(a.PageNumber()) {
+				k.cowBreak(t, a)
+			}
+			pa, inhibited := k.translate(t, a, false)
+			switch {
+			case inhibited:
+				k.M.MemAccess(pa, cache.ClassUser, true, true)
+			case dcbz:
+				k.M.ZeroLine(pa, cache.ClassUser)
+			default:
+				k.M.MemAccess(pa, cache.ClassUser, false, true)
+			}
 		}
+		// One store-address update per line either way.
+		k.M.Led.Charge(clock.Cycles(nbytes / line))
+		return
+	}
+	total := (nbytes + line - 1) / line
+	done := 0
+	for done < total {
+		a := ea + arch.EffectiveAddr(done*line)
+		cnt := min(total-done, (arch.PageSize-int(a.Offset())+line-1)/line)
 		pa, inhibited := k.translate(t, a, false)
-		switch {
-		case inhibited:
+		if inhibited {
 			k.M.MemAccess(pa, cache.ClassUser, true, true)
-		case dcbz:
-			k.M.ZeroLine(pa, cache.ClassUser)
-		default:
-			k.M.MemAccess(pa, cache.ClassUser, false, true)
+			done++
+			continue
 		}
+		if cnt > 1 {
+			k.replayHits(a, false, cnt-1)
+		}
+		if dcbz {
+			k.M.ZeroLineRun(pa, cnt, cache.ClassUser)
+		} else {
+			k.M.MemAccessRun(pa, cnt, line, cache.ClassUser, false, true)
+		}
+		done += cnt
 	}
 	// One store-address update per line either way.
 	k.M.Led.Charge(clock.Cycles(nbytes / line))
@@ -398,10 +471,48 @@ func (k *Kernel) UserCopy(dst, src arch.EffectiveAddr, nbytes int) {
 	if k.cur == nil {
 		panic("kernel: UserCopy with no current task")
 	}
+	t := k.cur
 	line := k.M.LineSize()
-	for i := 0; i < nbytes; i += line {
-		k.access(k.cur, src+arch.EffectiveAddr(i), false, cache.ClassUser, false)
-		k.access(k.cur, dst+arch.EffectiveAddr(i), false, cache.ClassUser, true)
+	if k.M.Inj != nil || len(t.cowPages) > 0 || len(t.roPages) > 0 {
+		for i := 0; i < nbytes; i += line {
+			k.access(t, src+arch.EffectiveAddr(i), false, cache.ClassUser, false)
+			k.access(t, dst+arch.EffectiveAddr(i), false, cache.ClassUser, true)
+		}
+		k.M.Led.Charge(clock.Cycles(2 * (nbytes / line)))
+		return
+	}
+	total := (nbytes + line - 1) / line
+	done := 0
+	for done < total {
+		s := src + arch.EffectiveAddr(done*line)
+		d := dst + arch.EffectiveAddr(done*line)
+		cnt := min(total-done, min(
+			(arch.PageSize-int(s.Offset())+line-1)/line,
+			(arch.PageSize-int(d.Offset())+line-1)/line))
+		// The first load/store pair runs the full path so any fault on
+		// either side resolves at the exact scalar point in the stream.
+		spa, sinh := k.translate(t, s, false)
+		k.M.MemAccess(spa, cache.ClassUser, sinh, false)
+		dpa, dinh := k.translate(t, d, false)
+		k.M.MemAccess(dpa, cache.ClassUser, dinh, true)
+		done++
+		cnt--
+		if cnt <= 0 || sinh || dinh {
+			continue
+		}
+		// The destination's fault handling may have evicted the source's
+		// TLB entry (or vice versa when they share a set); only replay
+		// the streak if both translations are still resident, otherwise
+		// fall back to per-reference pairs so the re-fault lands where
+		// scalar execution would take it.
+		if !k.dataResident(s) || !k.dataResident(d) {
+			continue
+		}
+		k.replayHits(s, false, cnt)
+		k.replayHits(d, false, cnt)
+		k.M.MemPairRun(spa+arch.PhysAddr(line), dpa+arch.PhysAddr(line), cnt, line,
+			cache.ClassUser, cache.ClassUser, false, true)
+		done += cnt
 	}
 	k.M.Led.Charge(clock.Cycles(2 * (nbytes / line)))
 }
@@ -418,8 +529,16 @@ func (k *Kernel) IPCMessage(bytes int) {
 	k.kexec(textPipe+0x600, 120)
 	k.kdata(dataPipeTable+0x800, 64)
 	line := k.M.LineSize()
-	for i := 0; i < bytes; i += line {
-		k.access(k.cur, kvirt(k.dataPA+arch.PhysAddr(dataPipeTable+0x1000+uint32(i%0x1000))), false, cache.ClassKernelData, true)
+	base := kvirt(k.dataPA + arch.PhysAddr(dataPipeTable+0x1000))
+	total := (bytes + line - 1) / line
+	for done := 0; done < total; {
+		off := (done * line) % 0x1000
+		cnt := min(total-done, (0x1000-off)/line)
+		k.AccessRun(k.cur, Run{
+			EA: base + arch.EffectiveAddr(off), Count: cnt, Stride: line,
+			Class: cache.ClassKernelData, Write: true,
+		})
+		done += cnt
 	}
 	k.M.Led.Charge(clock.Cycles(2 * (bytes / line)))
 }

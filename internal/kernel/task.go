@@ -2,7 +2,7 @@ package kernel
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"mmutricks/internal/arch"
 	"mmutricks/internal/cache"
@@ -66,8 +66,10 @@ type Task struct {
 
 	regions []*Region
 	// owned are the private frames (anon/stack pages) freed at exit
-	// or munmap.
-	owned map[arch.PFN]struct{}
+	// or munmap. A bitset keyed by frame number: ownership is tested
+	// on every fault-path frame decision, and the ascending iteration
+	// order makes teardown's frees deterministic without sorting.
+	owned pfnSet
 	// cowPages are page numbers currently shared copy-on-write; a
 	// store to one takes a protection fault (cow.go).
 	cowPages map[uint32]struct{}
@@ -87,6 +89,9 @@ type Task struct {
 	nextMmap arch.EffectiveAddr
 	// image is the program currently executed (nil before Exec).
 	image *Image
+	// xlat holds the task's last-translation fastpath records (data,
+	// instr); see run.go for the generation protocol.
+	xlat [2]xlatRec
 }
 
 // slotOff returns the task struct's offset in kernel data.
@@ -103,19 +108,65 @@ func (t *Task) regionFor(ea arch.EffectiveAddr) *Region {
 	return nil
 }
 
-func (t *Task) ownFrame(pfn arch.PFN) {
-	if t.owned == nil {
-		t.owned = make(map[arch.PFN]struct{})
+// pfnSet is a grow-on-demand bitset of physical frame numbers.
+type pfnSet struct {
+	bits []uint64
+	n    int
+}
+
+func (s *pfnSet) add(pfn arch.PFN) {
+	w := int(pfn >> 6)
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
 	}
-	t.owned[pfn] = struct{}{}
+	m := uint64(1) << (pfn & 63)
+	if s.bits[w]&m == 0 {
+		s.bits[w] |= m
+		s.n++
+	}
 }
 
-func (t *Task) owns(pfn arch.PFN) bool {
-	_, ok := t.owned[pfn]
-	return ok
+//mmutricks:noalloc
+func (s *pfnSet) has(pfn arch.PFN) bool {
+	w := int(pfn >> 6)
+	return w < len(s.bits) && s.bits[w]&(1<<(pfn&63)) != 0
 }
 
-func (t *Task) disownFrame(pfn arch.PFN) { delete(t.owned, pfn) }
+//mmutricks:noalloc
+func (s *pfnSet) remove(pfn arch.PFN) {
+	w := int(pfn >> 6)
+	if w >= len(s.bits) {
+		return
+	}
+	m := uint64(1) << (pfn & 63)
+	if s.bits[w]&m != 0 {
+		s.bits[w] &^= m
+		s.n--
+	}
+}
+
+func (s *pfnSet) len() int { return s.n }
+
+// forEach visits the members in ascending frame order.
+func (s *pfnSet) forEach(fn func(arch.PFN)) {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(arch.PFN(w<<6 + b))
+			word &= word - 1
+		}
+	}
+}
+
+func (s *pfnSet) clear() { s.bits = nil; s.n = 0 }
+
+func (t *Task) ownFrame(pfn arch.PFN) { t.owned.add(pfn) }
+
+//mmutricks:noalloc
+func (t *Task) owns(pfn arch.PFN) bool { return t.owned.has(pfn) }
+
+//mmutricks:noalloc
+func (t *Task) disownFrame(pfn arch.PFN) { t.owned.remove(pfn) }
 
 func (t *Task) markCOW(pn uint32) {
 	if t.cowPages == nil {
@@ -262,10 +313,8 @@ func (k *Kernel) Fork() *Task {
 // line, through the kernel linear mapping.
 func (k *Kernel) copyPage(src, dst arch.PFN) {
 	line := k.M.LineSize()
-	for off := 0; off < arch.PageSize; off += line {
-		k.M.MemAccess(src.Addr()+arch.PhysAddr(off), cache.ClassKernelData, false, false)
-		k.M.MemAccess(dst.Addr()+arch.PhysAddr(off), cache.ClassKernelData, false, true)
-	}
+	k.M.MemPairRun(src.Addr(), dst.Addr(), arch.PageSize/line, line,
+		cache.ClassKernelData, cache.ClassKernelData, false, true)
 	k.M.Led.Charge(clock.Cycles(arch.PageSize / line * 2))
 }
 
@@ -339,17 +388,13 @@ func (k *Kernel) teardownMM(t *Task) {
 			t.PT.Unmap(ea)
 		}
 	}
-	// Free in sorted order so the allocator's free list — and hence
-	// all later physical placements — is deterministic.
-	frames := make([]arch.PFN, 0, len(t.owned))
-	for pfn := range t.owned {
-		frames = append(frames, pfn)
-	}
-	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
-	for _, pfn := range frames {
+	// Free in ascending frame order — the bitset iterates sorted, so
+	// the allocator's free list and all later physical placements are
+	// deterministic.
+	t.owned.forEach(func(pfn arch.PFN) {
 		k.M.Mem.FreeFrame(pfn)
-	}
-	t.owned = nil
+	})
+	t.owned.clear()
 	t.regions = nil
 }
 

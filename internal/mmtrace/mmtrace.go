@@ -291,13 +291,14 @@ type TaskStat struct {
 // A Tracer is not safe for concurrent use — like the Machine it
 // instruments, it belongs to one simulation goroutine.
 type Tracer struct {
-	enabled bool
-	curTask uint32
-	led     *clock.Ledger
-	ring    []Event
-	head    uint64 // total events ever emitted
-	hists   [NumKinds]Hist
-	tasks   [TaskSlots]TaskStat
+	enabled  bool
+	curTask  uint32
+	led      *clock.Ledger
+	ring     []Event
+	capacity int
+	head     uint64 // total events ever emitted
+	hists    [NumKinds]Hist
+	tasks    [TaskSlots]TaskStat
 }
 
 // DefaultCapacity is the ring size machines construct their tracer
@@ -305,22 +306,31 @@ type Tracer struct {
 // benchmark window while staying cheap to allocate per machine.
 const DefaultCapacity = 1 << 15
 
-// NewTracer builds a disabled tracer reading timestamps from led.
+// NewTracer builds a disabled tracer reading timestamps from led. The
+// ring is allocated on first Enable, so machines that never trace —
+// most harness cells — pay nothing for it.
 func NewTracer(led *clock.Ledger, capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Tracer{led: led, ring: make([]Event, capacity)}
+	return &Tracer{led: led, capacity: capacity}
 }
 
 // Enable starts recording. The hwmon.Counters snapshot for the
 // reconciliation window should be taken at the same moment.
-func (t *Tracer) Enable() { t.enabled = true }
+func (t *Tracer) Enable() {
+	if t.ring == nil {
+		t.ring = make([]Event, t.capacity)
+	}
+	t.enabled = true
+}
 
 // Disable stops recording; the collected data stays readable.
 func (t *Tracer) Disable() { t.enabled = false }
 
 // Enabled reports whether the tracer is recording.
+//
+//mmutricks:noalloc
 func (t *Tracer) Enabled() bool { return t.enabled }
 
 // Reset discards everything recorded (the enabled flag and current
@@ -386,7 +396,7 @@ func (t *Tracer) emit(kind Kind, vs arch.VSID, ea arch.EffectiveAddr, cost clock
 }
 
 // Capacity returns the ring size.
-func (t *Tracer) Capacity() int { return len(t.ring) }
+func (t *Tracer) Capacity() int { return t.capacity }
 
 // Emitted returns how many events have been emitted since the last
 // Reset (including events the ring has overwritten).

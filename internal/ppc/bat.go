@@ -45,6 +45,15 @@ func (b *BATEntry) Translate(ea arch.EffectiveAddr) arch.PhysAddr {
 // instruction and data arrays).
 type BATArray struct {
 	entries [NumBATs]BATEntry
+	// gen, when wired by the owning MMU, is bumped whenever a register
+	// changes so last-translation fastpaths notice remapped blocks.
+	gen *uint64
+}
+
+func (a *BATArray) bumpGen() {
+	if a.gen != nil {
+		*a.gen++
+	}
 }
 
 // Set programs BAT register i. It validates the architected alignment
@@ -64,6 +73,7 @@ func (a *BATArray) Set(i int, e BATEntry) error {
 			return fmt.Errorf("ppc: BAT phys %v not aligned to length %#x", e.Phys, e.Len)
 		}
 	}
+	a.bumpGen()
 	a.entries[i] = e
 	return nil
 }
@@ -72,7 +82,10 @@ func (a *BATArray) Set(i int, e BATEntry) error {
 func (a *BATArray) Get(i int) BATEntry { return a.entries[i] }
 
 // Clear invalidates all four registers.
-func (a *BATArray) Clear() { a.entries = [NumBATs]BATEntry{} }
+func (a *BATArray) Clear() {
+	a.bumpGen()
+	a.entries = [NumBATs]BATEntry{}
+}
 
 // Lookup finds the entry covering ea, if any. On real hardware the BAT
 // compare runs in parallel with the segment lookup and wins ties, so a

@@ -76,30 +76,62 @@ func (h *HTAB) touch(bus Bus, group, slot int, write bool) {
 	}
 }
 
+// runBus is optionally implemented by buses (machine.Machine) that can
+// simulate a batch of equally-strided accesses in one call with
+// observable behaviour identical to the equivalent scalar loop.
+type runBus interface {
+	MemAccessRun(pa arch.PhysAddr, n, stride int, class cache.Class, inhibited, write bool)
+}
+
+// touchRun performs n consecutive-slot touches starting at slot. The
+// PTE compares interleaved with touches in the scalar loops are free
+// struct reads with no bus side effects, so hoisting the touches into
+// one run leaves the bus operation sequence unchanged.
+//
+//mmutricks:noalloc
+func (h *HTAB) touchRun(bus Bus, group, slot, n int, write bool) {
+	if bus == nil || n <= 0 {
+		return
+	}
+	if rb, ok := bus.(runBus); ok {
+		rb.MemAccessRun(h.EntryAddr(group, slot), n, arch.PTEBytes, cache.ClassHashTable, h.inhibited, write) //mmutricks:noalloc-ok interface batch entry proven at its machine.Machine implementation
+		return
+	}
+	for i := 0; i < n; i++ {
+		h.touch(bus, group, slot+i, write)
+	}
+}
+
 // Search performs the architected table search: up to eight entries in
 // the primary bucket, then up to eight in the secondary. It returns the
 // matching PTE (nil if absent) and the number of PTE memory accesses
-// performed — up to the 16 the paper cites.
+// performed — up to the 16 the paper cites. The match slot is computed
+// first (compares are free), then the touches up to and including it
+// are issued as one run — the same addresses in the same order as the
+// scalar touch-then-compare loop.
 //
 //mmutricks:noalloc
 func (h *HTAB) Search(vpn arch.VPN, bus Bus) (pte *arch.PTE, primary bool, accesses int) {
 	pg := arch.HashPrimary(vpn, h.groups)
-	for s := range h.buckets[pg] {
-		accesses++
-		h.touch(bus, pg, s, false)
-		if e := &h.buckets[pg][s]; e.Matches(vpn) && !e.Hash {
-			return e, true, accesses
+	pb := h.buckets[pg]
+	for s := range pb {
+		if e := &pb[s]; e.Matches(vpn) && !e.Hash {
+			h.touchRun(bus, pg, 0, s+1, false)
+			return e, true, s + 1
 		}
 	}
+	h.touchRun(bus, pg, 0, arch.PTEGSize, false)
+	accesses = arch.PTEGSize
 	sg := arch.HashSecondary(vpn, h.groups)
-	for s := range h.buckets[sg] {
-		accesses++
-		h.touch(bus, sg, s, false)
-		if e := &h.buckets[sg][s]; e.Matches(vpn) && e.Hash {
-			return e, false, accesses
+	sb := h.buckets[sg]
+	for s := range sb {
+		if e := &sb[s]; e.Matches(vpn) && e.Hash {
+			h.touchRun(bus, sg, 0, s+1, false)
+			return e, false, accesses + s + 1
 		}
 	}
-	return nil, false, accesses
+	h.touchRun(bus, sg, 0, arch.PTEGSize, false)
+	return nil, false, accesses + arch.PTEGSize
 }
 
 // Insert installs a PTE for vpn. It looks for an invalid slot in the
@@ -113,20 +145,25 @@ func (h *HTAB) Insert(vpn arch.VPN, rpn arch.PFN, inhibited bool, bus Bus, zombi
 	accesses := 0
 	pg := arch.HashPrimary(vpn, h.groups)
 	sg := arch.HashSecondary(vpn, h.groups)
-	// Pass 1: a free slot in either bucket.
+	// Pass 1: a free slot in either bucket. The free slot is found with
+	// free compares first, then the reads up to and including it go out
+	// as one run (same bus sequence as the scalar interleaving).
 	for _, loc := range []struct {
 		g    int
 		hash bool
 	}{{pg, false}, {sg, true}} {
-		for s := range h.buckets[loc.g] {
-			accesses++
-			h.touch(bus, loc.g, s, false)
-			if !h.buckets[loc.g][s].Valid {
+		b := h.buckets[loc.g]
+		for s := range b {
+			if !b[s].Valid {
+				h.touchRun(bus, loc.g, 0, s+1, false)
+				accesses += s + 1
 				h.place(loc.g, s, vpn, rpn, inhibited, loc.hash)
 				h.touch(bus, loc.g, s, true) // the store
 				return InsertFreeSlot, accesses + 1
 			}
 		}
+		h.touchRun(bus, loc.g, 0, arch.PTEGSize, false)
+		accesses += arch.PTEGSize
 	}
 	// Pass 2: both buckets full — replace an arbitrary slot.
 	h.rr++
@@ -197,9 +234,25 @@ func (h *HTAB) ReclaimScan(start, n int, bus Bus, zombie func(arch.VSID) bool) (
 	}
 	for i := 0; i < n; i++ {
 		g := (start + i) % h.groups
-		for s := range h.buckets[g] {
+		b := h.buckets[g]
+		// Groups with nothing to reclaim — the overwhelmingly common
+		// case in steady state — are a pure read sweep, so the eight
+		// touches collapse into one run. A group with a zombie keeps the
+		// scalar loop: its read/write interleaving must be preserved.
+		clean := true
+		for s := range b {
+			if b[s].Valid && zombie(b[s].VSID) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			h.touchRun(bus, g, 0, arch.PTEGSize, false)
+			continue
+		}
+		for s := range b {
 			h.touch(bus, g, s, false)
-			e := &h.buckets[g][s]
+			e := &b[s]
 			if e.Valid && zombie(e.VSID) {
 				e.Valid = false
 				h.touch(bus, g, s, true)

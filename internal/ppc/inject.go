@@ -136,12 +136,12 @@ func (m *MMU) applyFault(kind faultinject.Kind, ea arch.EffectiveAddr, instr boo
 func (t *TLB) CorruptEntry(rnd uint64, avoid arch.VPN) (victim arch.VPN, ok bool) {
 	start := uint32(rnd) & t.setMask
 	avoidSet := avoid.PageIndex() & t.setMask
-	for i := 0; i < len(t.sets); i++ {
+	for i := 0; i <= int(t.setMask); i++ {
 		si := (start + uint32(i)) & t.setMask
 		if si == avoidSet {
 			continue
 		}
-		set := t.sets[si]
+		set := t.setLines(si)
 		for j := range set {
 			if set[j].valid {
 				set[j].rpn ^= 1
@@ -160,8 +160,8 @@ func (t *TLB) CorruptEntry(rnd uint64, avoid arch.VPN) (victim arch.VPN, ok bool
 //mmutricks:noalloc
 func (t *TLB) SpuriousInvalidate(rnd uint64) (victim arch.VPN, ok bool) {
 	start := uint32(rnd) & t.setMask
-	for i := 0; i < len(t.sets); i++ {
-		set := t.sets[(start+uint32(i))&t.setMask]
+	for i := 0; i <= int(t.setMask); i++ {
+		set := t.setLines((start + uint32(i)) & t.setMask)
 		for j := range set {
 			if set[j].valid {
 				vpn := set[j].vpn
@@ -179,7 +179,7 @@ func (t *TLB) SpuriousInvalidate(rnd uint64) (victim arch.VPN, ok bool) {
 //
 //mmutricks:noalloc
 func (t *TLB) Peek(vpn arch.VPN) (arch.PFN, bool) {
-	set := t.sets[vpn.PageIndex()&t.setMask]
+	set := t.set(vpn)
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
 			return set[i].rpn, true

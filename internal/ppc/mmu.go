@@ -35,6 +35,13 @@ type MMU struct {
 	inj *faultinject.Injector
 
 	segs [arch.NumSegments]arch.VSID
+
+	// gen is the translation generation: bumped on every event that can
+	// invalidate a previously returned translation (TLB invalidation,
+	// BAT register change, segment register load). Fastpaths that cache
+	// a translation remember the generation it was minted under and
+	// treat a mismatch as "revalidate from scratch".
+	gen uint64
 }
 
 // NewMMU builds an MMU for the given CPU model. trc may be nil (no
@@ -55,8 +62,18 @@ func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *h
 		m.TLB = NewTLB(model.TLBEntries, model.TLBWays)
 		m.ITLB = m.TLB
 	}
+	m.TLB.gen = &m.gen
+	m.ITLB.gen = &m.gen
+	m.IBAT.gen = &m.gen
+	m.DBAT.gen = &m.gen
 	return m
 }
+
+// Gen returns the current translation generation. Any cached
+// translation minted under an older generation must be revalidated.
+//
+//mmutricks:noalloc
+func (m *MMU) Gen() uint64 { return m.gen }
 
 // TLBFor returns the lookaside buffer serving the given access side.
 //
@@ -95,8 +112,12 @@ func (m *MMU) KernelTLBEntries() int {
 }
 
 // SetSegment loads segment register i with a VSID (the kernel does this
-// on context switch).
-func (m *MMU) SetSegment(i int, v arch.VSID) { m.segs[i] = v & arch.VSIDMask }
+// on context switch). Loading a segment register remaps every address
+// in that segment, so it advances the translation generation.
+func (m *MMU) SetSegment(i int, v arch.VSID) {
+	m.gen++
+	m.segs[i] = v & arch.VSIDMask
+}
 
 // Segment returns segment register i.
 func (m *MMU) Segment(i int) arch.VSID { return m.segs[i] }

@@ -19,12 +19,17 @@ type TLBEntry struct {
 // TLB is the set-associative translation lookaside buffer. Both the 603
 // (128 entries) and 604 (256 entries) are 2-way set-associative indexed
 // by the low bits of the effective page index, which is how the real
-// parts index their TLBs.
+// parts index their TLBs. Entries are stored flat (set-major) so the
+// hit path is one slice index away from the data.
 type TLB struct {
-	sets    [][]TLBEntry
+	entries []TLBEntry
 	ways    int
 	setMask uint32
 	seq     uint64
+	// gen, when wired by the owning MMU, is bumped on every
+	// invalidation so last-translation fastpaths can prove their
+	// remembered entry was never flushed.
+	gen *uint64
 }
 
 // NewTLB builds a TLB with the given total entry count and
@@ -37,19 +42,31 @@ func NewTLB(entries, ways int) *TLB {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("ppc: TLB set count %d not a power of two", nsets))
 	}
-	t := &TLB{sets: make([][]TLBEntry, nsets), ways: ways, setMask: uint32(nsets - 1)}
-	for i := range t.sets {
-		t.sets[i] = make([]TLBEntry, ways)
-	}
-	return t
+	return &TLB{entries: make([]TLBEntry, entries), ways: ways, setMask: uint32(nsets - 1)}
 }
 
 // Entries returns the total capacity.
-func (t *TLB) Entries() int { return len(t.sets) * t.ways }
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// bumpGen advances the owning MMU's translation generation (no-op for
+// a TLB constructed standalone in tests).
+//
+//mmutricks:noalloc
+func (t *TLB) bumpGen() {
+	if t.gen != nil {
+		*t.gen++
+	}
+}
 
 //mmutricks:noalloc
 func (t *TLB) set(vpn arch.VPN) []TLBEntry {
-	return t.sets[vpn.PageIndex()&t.setMask]
+	return t.setLines(vpn.PageIndex() & t.setMask)
+}
+
+//mmutricks:noalloc
+func (t *TLB) setLines(si uint32) []TLBEntry {
+	base := int(si) * t.ways
+	return t.entries[base : base+t.ways]
 }
 
 // Lookup searches for a translation of vpn.
@@ -99,8 +116,66 @@ install:
 	return evictedValid
 }
 
+// WayOf reports which way of vpn's set currently holds a valid
+// translation for it. Pure probe: no LRU, sequence, or statistics side
+// effects — fastpaths use it to remember where a hit lives.
+//
+//mmutricks:noalloc
+func (t *TLB) WayOf(vpn arch.VPN) (way int8, ok bool) {
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			return int8(i), true
+		}
+	}
+	return 0, false
+}
+
+// LookupWay replays one Lookup hit at a remembered way. On success the
+// side effects are exactly those of a hitting Lookup (sequence bump,
+// LRU touch); on a stale way — entry invalidated or replaced since it
+// was remembered — nothing is touched and the caller must fall back to
+// the full Lookup.
+//
+//mmutricks:noalloc
+func (t *TLB) LookupWay(vpn arch.VPN, way int8) (rpn arch.PFN, inhibited, ok bool) {
+	set := t.set(vpn)
+	if int(way) >= len(set) {
+		return 0, false, false
+	}
+	e := &set[way]
+	if !e.valid || e.vpn != vpn {
+		return 0, false, false
+	}
+	t.seq++
+	e.lru = t.seq
+	return e.rpn, e.inhibited, true
+}
+
+// ReplayWay replays n consecutive Lookup hits at a remembered way in
+// one step: the sequence advances by n and the entry's LRU stamp lands
+// on the final value, exactly as n scalar hitting Lookups would leave
+// it (no other entry is touched by a hit, so the intermediate stamps
+// are unobservable).
+//
+//mmutricks:noalloc
+func (t *TLB) ReplayWay(vpn arch.VPN, way int8, n int) (rpn arch.PFN, inhibited, ok bool) {
+	set := t.set(vpn)
+	if int(way) >= len(set) {
+		return 0, false, false
+	}
+	e := &set[way]
+	if !e.valid || e.vpn != vpn {
+		return 0, false, false
+	}
+	t.seq += uint64(n)
+	e.lru = t.seq
+	return e.rpn, e.inhibited, true
+}
+
 // InvalidateVPN removes a single translation (the tlbie instruction).
 func (t *TLB) InvalidateVPN(vpn arch.VPN) {
+	t.bumpGen()
 	set := t.set(vpn)
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
@@ -111,21 +186,18 @@ func (t *TLB) InvalidateVPN(vpn arch.VPN) {
 
 // InvalidateAll flushes the whole TLB (the tlbia instruction).
 func (t *TLB) InvalidateAll() {
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			t.sets[i][j] = TLBEntry{}
-		}
+	t.bumpGen()
+	for i := range t.entries {
+		t.entries[i] = TLBEntry{}
 	}
 }
 
 // Valid returns how many entries are currently valid.
 func (t *TLB) Valid() int {
 	n := 0
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			if t.sets[i][j].valid {
-				n++
-			}
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
 		}
 	}
 	return n
@@ -135,11 +207,9 @@ func (t *TLB) Valid() int {
 // addresses — the OS TLB footprint of §5.1.
 func (t *TLB) KernelEntries() int {
 	n := 0
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			if t.sets[i][j].valid && t.sets[i][j].kernel {
-				n++
-			}
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].kernel {
+			n++
 		}
 	}
 	return n
@@ -149,11 +219,9 @@ func (t *TLB) KernelEntries() int {
 // virtual page number — for consistency checking and tools.
 func (t *TLB) Snapshot() map[arch.VPN]arch.PFN {
 	m := make(map[arch.VPN]arch.PFN)
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			if t.sets[i][j].valid {
-				m[t.sets[i][j].vpn] = t.sets[i][j].rpn
-			}
+	for i := range t.entries {
+		if t.entries[i].valid {
+			m[t.entries[i].vpn] = t.entries[i].rpn
 		}
 	}
 	return m
@@ -164,11 +232,9 @@ func (t *TLB) Snapshot() map[arch.VPN]arch.PFN {
 // flush.
 func (t *TLB) CountVSIDs() map[arch.VSID]int {
 	m := make(map[arch.VSID]int)
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			if t.sets[i][j].valid {
-				m[t.sets[i][j].vpn.VSID()]++
-			}
+	for i := range t.entries {
+		if t.entries[i].valid {
+			m[t.entries[i].vpn.VSID()]++
 		}
 	}
 	return m

@@ -94,6 +94,22 @@ func runTLBReach(s Scale) *Table {
 
 	genNames := []string{"sequential", "working-set 90/10", "pointer-chase", "zipfian"}
 
+	// drive issues n references from g, consuming whole runs when the
+	// generator can describe its stream that way.
+	drive := func(k *kernel.Kernel, g trace.Generator, n int) {
+		if rg, ok := g.(trace.RunGenerator); ok {
+			for done := 0; done < n; {
+				ea, cnt, stride := rg.NextRun(n - done)
+				k.UserRefRun(ea, cnt, stride, false)
+				done += cnt
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			k.UserRef(g.Next(), false)
+		}
+	}
+
 	run := func(model clock.CPUModel, g trace.Generator, pages int) (missRate float64, nsPerRef float64) {
 		k := kernel.New(machine.New(model), kernel.Optimized())
 		img := k.LoadImage("trace", 4)
@@ -101,14 +117,10 @@ func runTLBReach(s Scale) *Table {
 		k.SysMmap(max(pages, 100))
 		// Fault everything in and warm up.
 		k.UserTouchPages(kernel.UserMmapBase, max(pages, 100))
-		for i := 0; i < refs/10; i++ {
-			k.UserRef(g.Next(), false)
-		}
+		drive(k, g, refs/10)
 		before := k.M.Mon.Snapshot()
 		start := k.M.Led.Now()
-		for i := 0; i < refs; i++ {
-			k.UserRef(g.Next(), false)
-		}
+		drive(k, g, refs)
 		d := k.M.Mon.Delta(before)
 		// A reference that misses is retried after the reload, which
 		// shows up as a second TLB event (a hit on the 603, another

@@ -23,6 +23,17 @@ type Generator interface {
 	Name() string
 }
 
+// RunGenerator is implemented by generators whose stream is locally
+// arithmetic: NextRun returns the next batch of references as one
+// equally-strided run, advancing the stream exactly as the same number
+// of Next calls would. Random-pattern generators stay per-reference.
+type RunGenerator interface {
+	Generator
+	// NextRun returns the start address, the reference count
+	// (1 <= count <= max), and the byte stride of the next batch.
+	NextRun(max int) (ea arch.EffectiveAddr, count, stride int)
+}
+
 // rng is a deterministic xorshift32.
 type rng uint32
 
@@ -71,6 +82,18 @@ func (s *Sequential) Next() arch.EffectiveAddr {
 	return ea
 }
 
+// NextRun implements RunGenerator: the walk is arithmetic until it
+// wraps at the region end.
+func (s *Sequential) NextRun(max int) (arch.EffectiveAddr, int, int) {
+	count := s.pages - s.pos
+	if count > max {
+		count = max
+	}
+	ea := s.base + arch.EffectiveAddr(s.pos*arch.PageSize)
+	s.pos = (s.pos + count) % s.pages
+	return ea, count, arch.PageSize
+}
+
 // Strided touches every k-th page, wrapping — the pattern of row
 // accesses in a column-major matrix.
 type Strided struct {
@@ -97,6 +120,18 @@ func (s *Strided) Next() arch.EffectiveAddr {
 	ea := s.base + arch.EffectiveAddr(s.pos*arch.PageSize)
 	s.pos = (s.pos + s.stride) % s.pages
 	return ea
+}
+
+// NextRun implements RunGenerator: the walk is arithmetic until the
+// position would wrap past the region end.
+func (s *Strided) NextRun(max int) (arch.EffectiveAddr, int, int) {
+	count := (s.pages-1-s.pos)/s.stride + 1
+	if count > max {
+		count = max
+	}
+	ea := s.base + arch.EffectiveAddr(s.pos*arch.PageSize)
+	s.pos = (s.pos + count*s.stride) % s.pages
+	return ea, count, s.stride * arch.PageSize
 }
 
 // WorkingSet models the classic 90/10 behaviour: most references land

@@ -1,7 +1,7 @@
 # The paper-reproduction simulator is pure Go; these targets wrap the
 # toolchain invocations the project treats as canonical.
 
-.PHONY: build test lint prove check bench benchsmoke pgo report
+.PHONY: build test lint prove check model bench benchsmoke pgo report
 
 build:
 	go build ./...
@@ -17,9 +17,20 @@ lint:
 
 # prove runs the mmuprove whole-program proof passes: transitive
 # noalloc over the call graph, determinism of byte-identical-output
-# packages, and hwmon↔mmtrace parity. check runs this too.
+# packages, hwmon↔mmtrace parity, and model↔kernel transition parity.
+# check runs this too.
 prove:
 	go run ./cmd/mmuprove ./...
+
+# model runs the mmumodel gates by hand: exhaustive exploration of the
+# context-switch/MM state machine, the seeded kernel refinement, and
+# the mutation gate (the planted mmumutant kernel bug must yield a
+# counterexample — the `!` inverts mmumodel's exit status). check runs
+# the first two; CI runs all three.
+model:
+	go run ./cmd/mmumodel -cpus 2 -tasks 3 -mms 2 -gens 2
+	go run ./cmd/mmumodel -refine -tasks 3 -mms 2 -gens 3 -walks 25 -steps 60
+	! go run -tags mmumutant ./cmd/mmumodel -refine -walks 25 -steps 60
 
 # check is the tier-1 gate: build, vet, gofmt, mmulint, mmuprove, and
 # the race-enabled test suite. Run it before sending changes.

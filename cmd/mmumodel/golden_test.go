@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden counterexample")
+
+// TestCounterexampleGolden pins the exact bytes of a minimized
+// counterexample script: exploring with the planted skip-unuse-put
+// bug at the default 1/2/2/2 parameters. BFS order, the canonical
+// step enumeration, and the script grammar are all load-bearing for
+// reproducing recorded counterexamples, so any drift must be a
+// conscious `go test ./cmd/mmumodel -update` away, not an accident.
+func TestCounterexampleGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mutate", "skip-unuse-put", "-j", "3"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 (violation); stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "counterexample.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("counterexample drifted from golden:\n--- got ---\n%s--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestGoldenAtAnyWorkerCount re-runs the golden scenario at several
+// -j values: the bytes must not depend on parallelism.
+func TestGoldenAtAnyWorkerCount(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "counterexample.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{1, 2, runtime.NumCPU()} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-mutate", "skip-unuse-put", "-j", strconv.Itoa(j)}, &stdout, &stderr); code != 1 {
+			t.Fatalf("-j %d: exit %d; stderr: %s", j, code, stderr.String())
+		}
+		if !bytes.Equal(stdout.Bytes(), want) {
+			t.Errorf("-j %d: output differs from golden", j)
+		}
+	}
+}
+
+// TestCleanExploreExitsZero: the CI smoke contract — a clean
+// exhaustive run exits 0 and the JSON summary carries the counts and
+// no counterexample key.
+func TestCleanExploreExitsZero(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "model.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-cpus", "2", "-tasks", "3", "-mms", "2", "-o", tmp}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s; stdout: %s", code, stderr.String(), stdout.String())
+	}
+	blob, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["mode"] != "explore" || got["states"].(float64) == 0 {
+		t.Errorf("summary missing exploration counts: %s", blob)
+	}
+	if _, has := got["counterexample"]; has {
+		t.Errorf("clean run wrote a counterexample: %s", blob)
+	}
+}
+
+// TestMutantJSONHasCounterexample: the converse contract — the
+// mutation gate greps the JSON for "counterexample".
+func TestMutantJSONHasCounterexample(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "model.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mutate", "skip-unuse-put", "-o", tmp}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	blob, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte(`"counterexample"`)) {
+		t.Errorf("mutant summary lacks the counterexample key: %s", blob)
+	}
+}
+
+// TestBadFlagsExitTwo pins the usage-error exit code.
+func TestBadFlagsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mutate", "nonsense"},
+		{"-cpus", "9"},
+		{"-refine", "-cpus", "2"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// mmumodel model-checks the context-switch/MM state machine of
+// internal/kernel. Two modes:
+//
+// Exhaustive exploration (default): BFS over every reachable state of
+// the abstract N-CPU machine (internal/model), checking the
+// scheduling, mm-refcount, and VSID-generation invariants on each.
+// The result is deterministic at any -j; a violation prints as a
+// minimal replayable action script and exits 1.
+//
+// Refinement (-refine): seeded random walks at N=1, each step
+// replayed against a real booted kernel with the abstract states
+// compared after every step. A divergence is minimized and printed
+// the same way. Run with `-tags mmumutant` this must find the planted
+// UnuseMM bug — CI's mutation gate.
+//
+// Usage:
+//
+//	go run ./cmd/mmumodel [-cpus N] [-tasks N] [-mms N] [-gens N] [-j N]
+//	    [-mutate name] [-refine] [-walks N] [-steps N] [-seed N] [-o file.json]
+//
+// Exit status: 0 clean, 1 violation/divergence found, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"mmutricks/internal/model"
+)
+
+// output is the -o JSON document. The "counterexample" key is the
+// machine-readable contract: CI greps for it to decide whether a
+// mutation run actually produced one.
+type output struct {
+	Mode           string     `json:"mode"` // "explore" or "refine"
+	CPUs           int        `json:"cpus"`
+	Tasks          int        `json:"tasks"`
+	MMs            int        `json:"mms"`
+	Gens           int        `json:"gens"`
+	Mutant         string     `json:"mutant"`
+	States         uint64     `json:"states,omitempty"`
+	Transitions    uint64     `json:"transitions,omitempty"`
+	Depth          int        `json:"depth,omitempty"`
+	Walks          int        `json:"walks,omitempty"`
+	StepsExecuted  uint64     `json:"steps_executed,omitempty"`
+	Seed           uint64     `json:"seed,omitempty"`
+	ElapsedMS      float64    `json:"elapsed_ms"`
+	Counterexample *counterex `json:"counterexample,omitempty"`
+}
+
+type counterex struct {
+	Violation string   `json:"violation"`
+	Trace     []string `json:"trace"`
+	Script    string   `json:"script"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmumodel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cpus   = fs.Int("cpus", 1, "CPUs in the abstract machine")
+		tasks  = fs.Int("tasks", 2, "user tasks")
+		mms    = fs.Int("mms", 2, "user mm descriptors")
+		gens   = fs.Int("gens", 2, "VSID generations per mm (1 disables vsid_reassign)")
+		j      = fs.Int("j", runtime.NumCPU(), "exploration workers (result is identical at any -j)")
+		mutate = fs.String("mutate", "none", "plant a model-side bug: none, skip-unuse-put, skip-switch-drop")
+		refine = fs.Bool("refine", false, "replay seeded walks against the real kernel at N=1")
+		walks  = fs.Int("walks", 50, "refinement walks")
+		steps  = fs.Int("steps", 80, "max steps per walk")
+		seed   = fs.Uint64("seed", 1, "refinement base seed")
+		outX   = fs.String("o", "", "write a JSON summary to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mut, ok := model.MutantByName[*mutate]
+	if !ok {
+		names := make([]string, 0, len(model.MutantByName))
+		for n := range model.MutantByName {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stderr, "mmumodel: unknown mutant %q (have %v)\n", *mutate, names)
+		return 2
+	}
+	p := model.Params{CPUs: *cpus, Tasks: *tasks, MMs: *mms, Gens: *gens}
+	out := output{CPUs: p.CPUs, Tasks: p.Tasks, MMs: p.MMs, Gens: p.Gens, Mutant: mut.String()}
+	start := time.Now()
+
+	var script string
+	if *refine {
+		out.Mode = "refine"
+		res, err := model.Refine(p, model.RefineOpts{Walks: *walks, Steps: *steps, Seed: *seed, Mutant: mut})
+		if err != nil {
+			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
+			return 2
+		}
+		out.Walks, out.StepsExecuted, out.Seed = res.Walks, res.StepsExecuted, res.Seed
+		if v := res.Violation; v != nil {
+			script = v.Script(p)
+			out.Counterexample = &counterex{Violation: v.Err, Trace: stepStrings(v.Trace), Script: script}
+		}
+	} else {
+		out.Mode = "explore"
+		res, err := model.Explore(p, model.ExploreOpts{Workers: *j, Mutant: mut})
+		if err != nil {
+			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
+			return 2
+		}
+		out.States, out.Transitions, out.Depth = res.States, res.Transitions, res.Depth
+		if v := res.Violation; v != nil {
+			script = v.Script(p, mut)
+			out.Counterexample = &counterex{Violation: v.Err, Trace: stepStrings(v.Trace), Script: script}
+		}
+	}
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if *outX != "" {
+		blob, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*outX, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
+			return 2
+		}
+	}
+
+	if out.Counterexample != nil {
+		fmt.Fprint(stdout, script)
+		return 1
+	}
+	if out.Mode == "refine" {
+		fmt.Fprintf(stdout, "mmumodel: refine cpus=%d tasks=%d mms=%d gens=%d: %d walks, %d steps replayed, no divergence (%.1fms)\n",
+			p.CPUs, p.Tasks, p.MMs, p.Gens, out.Walks, out.StepsExecuted, out.ElapsedMS)
+	} else {
+		fmt.Fprintf(stdout, "mmumodel: explore cpus=%d tasks=%d mms=%d gens=%d: %d states, %d transitions, depth %d, no violations (%.1fms)\n",
+			p.CPUs, p.Tasks, p.MMs, p.Gens, out.States, out.Transitions, out.Depth, out.ElapsedMS)
+	}
+	return 0
+}
+
+func stepStrings(trace []model.Step) []string {
+	out := make([]string, len(trace))
+	for i, st := range trace {
+		out[i] = st.String()
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"mmutricks/internal/arch"
 	"mmutricks/internal/pagetable"
@@ -92,6 +93,13 @@ func (r *resolver) canonicalFrame(vpn arch.VPN) (arch.PFN, bool, error) {
 //  3. No two live contexts share a VSID.
 //  4. Frame accounting: every frame referenced by a live page tree is
 //     allocated, and no frame is mapped privately by two tasks.
+//  5. mm refcount identities (the ctxsw.tla MMInv, exact form): every
+//     live descriptor's Users equals its address-space users (owning
+//     live task + UseMM kthread) and Count equals the collective user
+//     reference + init_mm's permanent reference + lazy-TLB borrows.
+//  6. mm structure: live descriptors have Count > 0, the active space
+//     is live and matches current's mm, exited tasks hold no mm, and
+//     UseMM spans pin the CPU (no current task, active == adopted).
 //
 // It returns an error describing the first violation found, or nil.
 func (k *Kernel) CheckConsistency() error {
@@ -165,6 +173,93 @@ func (k *Kernel) CheckConsistency() error {
 		})
 		if walkErr != nil {
 			return walkErr
+		}
+	}
+
+	// 5 + 6. mm refcount identities and structure.
+	return k.checkMM()
+}
+
+// checkMM verifies invariants 5 and 6: the mm_users/mm_count
+// identities and the structural facts they rest on. Iteration is in
+// sorted ID/PID order so the first violation reported is
+// deterministic.
+func (k *Kernel) checkMM() error {
+	// Structure around the current CPU state.
+	if k.activeMM == nil || !k.MMRegistered(k.activeMM) {
+		return fmt.Errorf("active mm is nil or freed")
+	}
+	if k.cur != nil {
+		if k.kthreadMM != nil {
+			return fmt.Errorf("UseMM span with task %d current", k.cur.PID)
+		}
+		// cur.mm == nil is the dying-task window: current is past
+		// exit_mm and runs on a borrowed active space until the final
+		// switch away. Otherwise active must be current's own space.
+		if k.cur.mm != nil && k.activeMM != k.cur.mm {
+			return fmt.Errorf("current task %d mm does not match active mm", k.cur.PID)
+		}
+	}
+	if k.kthreadMM != nil && k.activeMM != k.kthreadMM {
+		return fmt.Errorf("UseMM space %d is not the active mm", k.kthreadMM.ID)
+	}
+
+	// Per-task structure, and the expected user counts.
+	wantUsers := make(map[uint32]int, len(k.mms))
+	pids := make([]uint32, 0, len(k.tasks))
+	for pid := range k.tasks {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		t := k.tasks[pid]
+		if t.State == TaskZombie {
+			if t.mm != nil {
+				return fmt.Errorf("zombie task %d still holds mm %d", pid, t.mm.ID)
+			}
+			continue
+		}
+		if t.mm == nil {
+			return fmt.Errorf("live task %d has no mm", pid)
+		}
+		if !k.MMRegistered(t.mm) {
+			return fmt.Errorf("live task %d holds freed mm %d", pid, t.mm.ID)
+		}
+		if t.mm.owner != t {
+			return fmt.Errorf("task %d holds mm %d owned by another task", pid, t.mm.ID)
+		}
+		wantUsers[t.mm.ID]++
+	}
+	if k.kthreadMM != nil {
+		wantUsers[k.kthreadMM.ID]++
+	}
+
+	// The identities, per live descriptor.
+	ids := make([]uint32, 0, len(k.mms))
+	for id := range k.mms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := k.mms[id]
+		if m.Count <= 0 {
+			return fmt.Errorf("mm %d registered with count %d", id, m.Count)
+		}
+		if users := wantUsers[id]; m.Users != users {
+			return fmt.Errorf("mm %d users=%d but %d task(s) hold it", id, m.Users, users)
+		}
+		count := 0
+		if m.Users > 0 {
+			count++ // the users' collective existence reference
+		}
+		if m == k.initMM {
+			count++ // the kernel's permanent reference
+		}
+		if k.kthreadMM == nil && (k.cur == nil || k.cur.mm == nil) && k.activeMM == m {
+			count++ // this CPU's lazy-TLB borrow (idle, or a dying task)
+		}
+		if m.Count != count {
+			return fmt.Errorf("mm %d count=%d but %d reference(s) account for it", id, m.Count, count)
 		}
 	}
 	return nil

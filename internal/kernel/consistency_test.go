@@ -203,6 +203,25 @@ func TestConsistencyDetectsCorruption(t *testing.T) {
 				return func() { task.PT.Unmap(ea) }
 			},
 		},
+		{
+			// Invariant 5 (users identity): an mm_users reference with
+			// no task holding it — the signature of a missed mmput.
+			name: "mm-users-leak",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				task.mm.Users++
+				return func() { task.mm.Users-- }
+			},
+		},
+		{
+			// Invariant 5 (count identity): a lost existence reference —
+			// the signature of a double mmdrop, one step from a
+			// use-after-free of the descriptor.
+			name: "mm-count-borrow-lost",
+			corrupt: func(t *testing.T, k *Kernel, task *Task) func() {
+				task.mm.Count--
+				return func() { task.mm.Count++ }
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -31,6 +31,17 @@ type Kernel struct {
 	tasks   map[uint32]*Task
 	cur     *Task
 
+	// mm bookkeeping (mm.go): initMM is the kernel's own address
+	// space; activeMM is the space the segment registers name right
+	// now (the current task's, or a lazy-TLB borrow when cur == nil);
+	// kthreadMM is non-nil inside a UseMM span; mms indexes the live
+	// descriptors by ID.
+	initMM    *MM
+	activeMM  *MM
+	kthreadMM *MM
+	mms       map[uint32]*MM
+	nextMM    uint32
+
 	pipes    map[int]*Pipe
 	nextPipe int
 	files    map[int]*File
@@ -89,6 +100,7 @@ func New(m *machine.Machine, cfg Config) *Kernel {
 		files:   make(map[int]*File),
 		images:  make(map[string]*Image),
 	}
+	k.bootMM()
 	k.boot()
 	return k
 }

@@ -265,10 +265,20 @@ func (k *Kernel) mcEscalate(p faultinject.Pending) {
 // not count as a voluntary exit.
 func (k *Kernel) killTask(t *Task) {
 	k.fetchPhysText(textProc+0x800, exitInstr)
-	k.teardownMM(t)
-	t.PT.Destroy()
+	// Same mm protocol as Exit: if the victim is current, the CPU
+	// keeps its space as a lazy-TLB borrow; either way the task's
+	// user reference is dropped, and the final one (a kernel thread
+	// may still hold the space via UseMM) runs the teardown. Refcount
+	// and task state settle before the teardown traffic.
+	m := t.mm
+	borrow := k.cur == t
+	t.mm = nil
 	t.State = TaskZombie
-	if k.cur == t {
+	if borrow {
+		k.mmGrab(m)
+	}
+	k.mmPut(m)
+	if borrow {
 		k.cur = nil
 	}
 }

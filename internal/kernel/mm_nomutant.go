@@ -1,0 +1,6 @@
+//go:build !mmumutant
+
+package kernel
+
+// mutantSkipUnusePut is off in normal builds; see mm_mutant.go.
+const mutantSkipUnusePut = false

@@ -69,6 +69,15 @@ func (k *Kernel) switchTo(t *Task, charge bool) {
 		}
 		k.kdata(dataRunQueue, 64)
 	}
+	if k.kthreadMM != nil {
+		panic("kernel: context switch during a UseMM span")
+	}
+	if k.cur == nil {
+		// The incoming task's mm replaces a lazy-TLB borrow (idle or
+		// post-exit): drop the borrowed space's existence reference.
+		k.mmDrop(k.activeMM)
+	}
+	k.activeMM = t.mm
 	k.cur = t
 	k.M.Trc.SetTask(t.PID)
 	k.loadSegments(t)

@@ -64,6 +64,10 @@ type Task struct {
 	PT    *pagetable.Table
 	State TaskState
 
+	// mm is the task's address-space descriptor (mm.go); nil once the
+	// task has exited and dropped its user reference.
+	mm *MM
+
 	regions []*Region
 	// owned are the private frames (anon/stack pages) freed at exit
 	// or munmap. A bitset keyed by frame number: ownership is tested
@@ -237,8 +241,20 @@ func (k *Kernel) newContext(t *Task) {
 
 // Spawn creates a task running the given image — the boot-time
 // equivalent of fork+exec for building workloads. It charges nothing;
-// use Fork/Exec for measured process creation.
+// use Fork/Exec for measured process creation. If no task is current
+// the new task is switched to immediately.
 func (k *Kernel) Spawn(img *Image) *Task {
+	t := k.SpawnTask(img)
+	if k.cur == nil {
+		k.switchTo(t, false)
+	}
+	return t
+}
+
+// SpawnTask creates a runnable task without scheduling it — the
+// model's mm_init action: the task exists, owns a fresh address
+// space, and waits on the runqueue. It charges nothing.
+func (k *Kernel) SpawnTask(img *Image) *Task {
 	pt, err := pagetable.New(k.M.Mem)
 	if err != nil {
 		panic("kernel: out of memory spawning task")
@@ -246,6 +262,7 @@ func (k *Kernel) Spawn(img *Image) *Task {
 	t := &Task{PID: k.nextPID, PT: pt}
 	k.nextPID++
 	k.newContext(t)
+	k.newMM(t)
 	t.image = img
 	t.regions = []*Region{
 		{Start: UserTextBase, Pages: img.TextPages, Kind: RegionText, Backing: img.Backing},
@@ -254,9 +271,6 @@ func (k *Kernel) Spawn(img *Image) *Task {
 	}
 	t.nextMmap = UserMmapBase
 	k.tasks[t.PID] = t
-	if k.cur == nil {
-		k.switchTo(t, false)
-	}
 	return t
 }
 
@@ -304,7 +318,12 @@ func (k *Kernel) Fork() *Task {
 		}
 	}
 	// Text is shared: map nothing; the child demand-faults it (cheap
-	// minor faults against the page cache).
+	// minor faults against the page cache). The mm descriptor and the
+	// task-table entry appear together, after the copy traffic: a
+	// machine check delivered mid-fork must neither find a registered
+	// mm with no visible holder nor escalate against (and tear down)
+	// a half-constructed task.
+	k.newMM(child)
 	k.tasks[child.PID] = child
 	return child
 }
@@ -348,9 +367,17 @@ func (k *Kernel) Exit() {
 	}
 	k.M.Mon.Exits++
 	k.kexec(textProc+0x800, exitInstr)
-	k.teardownMM(t)
-	t.PT.Destroy()
+	// exit_mm: the CPU keeps the dying task's address space as a
+	// lazy-TLB borrow (mmgrab) across the user-reference drop; the
+	// final mmput tears the space down while t is still current, so
+	// the flush path charges exactly as a direct teardown would. The
+	// task leaves the live set before the teardown traffic starts so
+	// a mid-teardown consistency sweep sees a coherent state.
+	m := t.mm
+	t.mm = nil
 	t.State = TaskZombie
+	k.mmGrab(m)
+	k.mmPut(m)
 	k.cur = nil
 }
 

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Violation is one invariant failure: the offending state, the error,
+// and the minimal-length action script reaching it from Init (BFS
+// order guarantees minimality).
+type Violation struct {
+	Err   string
+	Trace []Step
+	State State
+}
+
+// Result summarizes one exhaustive exploration.
+type Result struct {
+	Params      Params
+	Mutant      Mutant
+	States      uint64 // distinct reachable states
+	Transitions uint64 // enabled (state, step) pairs examined
+	Depth       int    // BFS depth of the deepest state
+	Violation   *Violation
+}
+
+// ExploreOpts tunes Explore. Workers only affects wall clock: the
+// result (counts, depth, and any violation trace) is byte-identical
+// at every worker count.
+type ExploreOpts struct {
+	Workers int
+	Mutant  Mutant
+}
+
+// succ is one successor produced by a worker: the step fired from
+// states[parent] and the state it reached.
+type succ struct {
+	parent int32
+	step   Step
+	state  State
+}
+
+// Explore walks every state reachable from Init(p) by BFS, checking
+// the invariants on each new state, and returns the exhaustive count
+// or the first violation. Determinism: workers expand disjoint
+// contiguous chunks of the frontier and their successor lists are
+// merged in chunk order, so the discovery order — and therefore state
+// numbering, counts, and the reported violation — is independent of
+// Workers.
+func Explore(p Params, opts ExploreOpts) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	res := Result{Params: p, Mutant: opts.Mutant}
+
+	states := []State{Init(p)}
+	parents := []int32{-1}
+	vias := []Step{{}}
+	visited := map[State]int32{states[0]: 0}
+
+	trace := func(idx int32) []Step {
+		var rev []Step
+		for i := idx; parents[i] >= 0; i = parents[i] {
+			rev = append(rev, vias[i])
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		return rev
+	}
+
+	if err := Check(p, &states[0]); err != nil {
+		res.States = 1
+		res.Violation = &Violation{Err: err.Error(), State: states[0]}
+		return res, nil
+	}
+
+	lo, hi := 0, 1 // current BFS level: states[lo:hi]
+	for depth := 0; lo < hi; depth++ {
+		res.Depth = depth
+		n := hi - lo
+		chunks := workers
+		if chunks > n {
+			chunks = n
+		}
+		out := make([][]succ, chunks)
+		var wg sync.WaitGroup
+		for c := 0; c < chunks; c++ {
+			start := lo + c*n/chunks
+			end := lo + (c+1)*n/chunks
+			wg.Add(1)
+			go func(c, start, end int) {
+				defer wg.Done()
+				var local []succ
+				for i := start; i < end; i++ {
+					s := states[i]
+					steps(p, &s, func(st Step) {
+						next := s
+						Apply(p, &next, st, opts.Mutant)
+						local = append(local, succ{parent: int32(i), step: st, state: next})
+					})
+				}
+				out[c] = local
+			}(c, start, end)
+		}
+		wg.Wait()
+
+		// Deterministic merge: chunk order, then generation order
+		// within a chunk.
+		for _, local := range out {
+			for _, sc := range local {
+				res.Transitions++
+				if _, seen := visited[sc.state]; seen {
+					continue
+				}
+				idx := int32(len(states))
+				visited[sc.state] = idx
+				states = append(states, sc.state)
+				parents = append(parents, sc.parent)
+				vias = append(vias, sc.step)
+				if err := Check(p, &sc.state); err != nil && res.Violation == nil {
+					res.Violation = &Violation{
+						Err:   err.Error(),
+						Trace: trace(idx),
+						State: sc.state,
+					}
+				}
+			}
+		}
+		if res.Violation != nil {
+			// The violation sits on the shallowest level containing
+			// one (BFS), at the earliest deterministic position.
+			res.States = uint64(len(states))
+			res.Depth++
+			return res, nil
+		}
+		lo, hi = hi, len(states)
+	}
+	res.States = uint64(len(states))
+	return res, nil
+}
+
+// Script renders a violation as a replayable action script: one step
+// per line, with a header naming the run and a trailer naming the
+// violated invariant. The bytes are deterministic (golden-tested).
+func (v *Violation) Script(p Params, mut Mutant) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# mmumodel counterexample (cpus=%d tasks=%d mms=%d gens=%d mutant=%s)\n",
+		p.CPUs, p.Tasks, p.MMs, p.Gens, mut)
+	fmt.Fprintf(&b, "# tasks 0..%d are per-CPU idle tasks; mm 0 is init_mm\n", p.CPUs-1)
+	for _, st := range v.Trace {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "# violation: %s\n", v.Err)
+	return b.String()
+}

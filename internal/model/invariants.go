@@ -1,0 +1,155 @@
+package model
+
+import "fmt"
+
+// Check runs every invariant on s and returns the first violation:
+// TypeInv/SchedInv (scheduling structure), MMInv (the ctxsw.tla
+// refcount implications), RefInv (the exact refcount identities the
+// kernel's CheckConsistency also enforces), and VSIDInv (segment
+// registers agree with the current VSID generation of the loaded
+// space).
+func Check(p Params, s *State) error {
+	if err := checkSched(p, s); err != nil {
+		return err
+	}
+	if err := checkMMInv(p, s); err != nil {
+		return err
+	}
+	if err := checkRefInv(p, s); err != nil {
+		return err
+	}
+	return checkVSIDInv(p, s)
+}
+
+// checkSched is SchedInv + TypeInv: CPU/task assignment is a mutual
+// bijection on the running set, idle tasks run only on their own CPU,
+// and exited tasks are off-CPU with no mm references.
+func checkSched(p Params, s *State) error {
+	for c := 0; c < p.CPUs; c++ {
+		t := s.CPUTask[c]
+		if t == none {
+			return fmt.Errorf("SchedInv: cpu %d has no current task", c)
+		}
+		if s.TaskCPU[t] != int8(c) {
+			return fmt.Errorf("SchedInv: cpu %d runs task %d which claims cpu %d", c, t, s.TaskCPU[t])
+		}
+		if s.TaskPhase[t] == phaseIdle && int(t) != c {
+			return fmt.Errorf("SchedInv: idle task %d on foreign cpu %d", t, c)
+		}
+	}
+	for t := 0; t < p.CPUs+p.Tasks; t++ {
+		c := s.TaskCPU[t]
+		if c != none && s.CPUTask[c] != int8(t) {
+			return fmt.Errorf("SchedInv: task %d claims cpu %d which runs task %d", t, c, s.CPUTask[c])
+		}
+		switch s.TaskPhase[t] {
+		case phaseNew:
+			if s.TaskMM[t] != none || s.TaskActive[t] != none || c != none {
+				return fmt.Errorf("SchedInv: new task %d already has state", t)
+			}
+		case phaseLive:
+			if s.TaskMM[t] == none {
+				return fmt.Errorf("SchedInv: live task %d has no mm", t)
+			}
+			if s.TaskActive[t] != s.TaskMM[t] {
+				return fmt.Errorf("SchedInv: live task %d active_mm %d != mm %d", t, s.TaskActive[t], s.TaskMM[t])
+			}
+		case phaseExited:
+			if s.TaskMM[t] != none || s.TaskActive[t] != none || c != none {
+				return fmt.Errorf("SchedInv: exited task %d still has state", t)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMMInv is the ctxsw.tla MMInv, implication form:
+//
+//	mm_users = 0 => no task uses the mm
+//	mm_count = 0 => no task's active_mm names the mm
+//	mm_users > 0 => mm_count > 0
+//	init_mm's count never drops to zero
+func checkMMInv(p Params, s *State) error {
+	for m := 0; m <= p.MMs; m++ {
+		if s.MMUsers[m] == 0 {
+			for t := 0; t < p.CPUs+p.Tasks; t++ {
+				if s.TaskMM[t] == int8(m) {
+					return fmt.Errorf("MMInv: mm %d has users=0 but task %d uses it", m, t)
+				}
+			}
+		}
+		if s.MMCount[m] == 0 {
+			for t := 0; t < p.CPUs+p.Tasks; t++ {
+				if s.TaskActive[t] == int8(m) {
+					return fmt.Errorf("MMInv: mm %d has count=0 but task %d's active_mm names it (use after free)", m, t)
+				}
+			}
+		}
+		if s.MMUsers[m] > 0 && s.MMCount[m] <= 0 {
+			return fmt.Errorf("MMInv: mm %d has users=%d but count=%d", m, s.MMUsers[m], s.MMCount[m])
+		}
+		if s.MMUsers[m] < 0 || s.MMCount[m] < 0 {
+			return fmt.Errorf("MMInv: mm %d refcount underflow users=%d count=%d", m, s.MMUsers[m], s.MMCount[m])
+		}
+	}
+	if s.MMCount[initMM] <= 0 {
+		return fmt.Errorf("MMInv: init_mm freed (count=%d)", s.MMCount[initMM])
+	}
+	return nil
+}
+
+// checkRefInv is the exact refcount accounting — strictly stronger
+// than MMInv's implications, and the model twin of invariant 5 in
+// kernel.CheckConsistency:
+//
+//	mm_users[m] = #{tasks t: t.mm = m}
+//	mm_count[m] = (1 if users > 0) + (1 if m = init_mm)
+//	            + #{tasks t: t.active_mm = m and t.mm != m}
+func checkRefInv(p Params, s *State) error {
+	for m := 0; m <= p.MMs; m++ {
+		users, borrows := 0, 0
+		for t := 0; t < p.CPUs+p.Tasks; t++ {
+			if s.TaskMM[t] == int8(m) {
+				users++
+			}
+			if s.TaskActive[t] == int8(m) && s.TaskMM[t] != int8(m) {
+				borrows++
+			}
+		}
+		if int(s.MMUsers[m]) != users {
+			return fmt.Errorf("RefInv: mm %d users=%d but %d task(s) hold it", m, s.MMUsers[m], users)
+		}
+		count := borrows
+		if users > 0 {
+			count++
+		}
+		if m == int(initMM) {
+			count++
+		}
+		if int(s.MMCount[m]) != count {
+			return fmt.Errorf("RefInv: mm %d count=%d but %d reference(s) account for it", m, s.MMCount[m], count)
+		}
+	}
+	return nil
+}
+
+// checkVSIDInv: every CPU's segment registers carry the current VSID
+// generation of the space they name. A stale generation is exactly
+// the paper's lazy-flush bug class: translations for a retired
+// context still matching. borrow_mm deliberately skips the reload
+// (lazy TLB) but also skips the generation change, so the invariant
+// must still hold; vsid_reassign must broadcast to every CPU whose
+// loaded context names the reassigned space.
+func checkVSIDInv(p Params, s *State) error {
+	for c := 0; c < p.CPUs; c++ {
+		a := s.TaskActive[s.CPUTask[c]]
+		if a == none {
+			return fmt.Errorf("VSIDInv: cpu %d current task has no active_mm", c)
+		}
+		if s.CPUGen[c] != s.MMGen[a] {
+			return fmt.Errorf("VSIDInv: cpu %d holds generation %d of mm %d but current generation is %d (stale segments)",
+				c, s.CPUGen[c], a, s.MMGen[a])
+		}
+	}
+	return nil
+}

@@ -1,12 +1,14 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 gate: build, vet, formatting, the
 # mmulint hygiene suite, the mmuprove whole-program proofs (transitive
-# noalloc, determinism zones, counter↔trace parity), and the full test
-# suite under the race detector. CI and `make check` both run exactly
-# this script. The test suite includes the fault-injection and
-# chaos-soak audits (internal/faultinject, internal/chaos,
-# internal/kernel machine-check tests), so passing this gate also
-# certifies the machine-check recovery identities.
+# noalloc, determinism zones, counter↔trace parity, model↔kernel
+# transition parity), the full test suite under the race detector, and
+# the mmumodel gates (exhaustive exploration of the context-switch/MM
+# state machine plus a kernel refinement pass). CI and `make check`
+# both run exactly this script. The test suite includes the
+# fault-injection and chaos-soak audits (internal/faultinject,
+# internal/chaos, internal/kernel machine-check tests), so passing
+# this gate also certifies the machine-check recovery identities.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,5 +35,11 @@ go run ./cmd/mmuprove ./...
 
 echo '== go test -race ./...'
 go test -race ./...
+
+echo '== mmumodel: exhaustive exploration (2 CPUs / 3 tasks / 2 mms)'
+go run ./cmd/mmumodel -cpus 2 -tasks 3 -mms 2 -gens 2
+
+echo '== mmumodel: kernel refinement (seeded walks at N=1)'
+go run ./cmd/mmumodel -refine -tasks 3 -mms 2 -gens 3 -walks 25 -steps 60
 
 echo 'check: all gates passed'

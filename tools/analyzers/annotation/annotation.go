@@ -36,6 +36,13 @@
 //	    increment or trace emit whose partner lives in another function
 //	    (the reason must name the remote site). The reason is mandatory.
 //
+//	//mmutricks:transitions-ok <reason>  (trailing the func line)
+//	    Waiver for the transitions analyzer on an exported kernel
+//	    function that mutates context-switch/MM state but is
+//	    deliberately absent from the model's action table (the reason
+//	    must say how the mutation is otherwise audited). The reason is
+//	    mandatory.
+//
 // Directives are comment directives in the gofmt sense (no space after
 // //) and must appear in the doc comment block of the declaration they
 // annotate, except the *-ok waivers which trail the waived line.

@@ -41,6 +41,7 @@ var mutators = map[string]bool{
 	"FlushTaskContext": true, "Swap": true, "Exec": true, "Exit": true,
 	"Fork": true, "Switch": true, "RunIdleFor": true,
 	"SysMunmap": true, "SysMprotect": true, "SysBrk": true, "SysKill": true,
+	"SwitchToIdle": true, "UseMM": true, "UnuseMM": true,
 }
 
 type summary struct {

@@ -10,7 +10,8 @@
 //     experiment-registration hygiene.
 //   - Prove: whole-program proofs run by mmuprove — transitive noalloc
 //     over the call graph, determinism of byte-identical output
-//     packages, and counter↔trace parity.
+//     packages, counter↔trace parity, and model↔kernel transition
+//     parity.
 //   - Extra: registered and selectable via -run, but in no default set.
 //     The single-function noalloc pass lives here: noalloctrans
 //     subsumes it, and running both would double-report.
@@ -33,6 +34,7 @@ import (
 	"mmutricks/tools/analyzers/noalloctrans"
 	"mmutricks/tools/analyzers/parity"
 	"mmutricks/tools/analyzers/registry"
+	"mmutricks/tools/analyzers/transitions"
 )
 
 // Lint is the default set for cmd/mmulint.
@@ -47,6 +49,7 @@ var Prove = []*analysis.Analyzer{
 	noalloctrans.Analyzer,
 	determinism.Analyzer,
 	parity.Analyzer,
+	transitions.Analyzer,
 }
 
 // Extra holds analyzers in no default set, still selectable via -run.

@@ -1,0 +1,136 @@
+// Package kernel is a miniature internal/kernel for exercising the
+// transitions analyzer: the tracked types, the table-named entry
+// points, the boundary function, and entry points that must be
+// flagged, exempted, or waived.
+package kernel
+
+// MM mirrors the real descriptor's tracked fields.
+type MM struct {
+	ID           uint32
+	Users, Count int
+}
+
+// Task mirrors the real task's tracked field.
+type Task struct {
+	PID uint32
+	mm  *MM
+}
+
+// Kernel mirrors the real kernel's tracked fields plus an untracked
+// one.
+type Kernel struct {
+	cur       *Task
+	activeMM  *MM
+	kthreadMM *MM
+	mms       map[uint32]*MM
+	tasks     map[uint32]*Task // untracked
+	nextMM    uint32
+}
+
+// New is exempt: the constructor builds the boot state.
+func New() *Kernel {
+	k := &Kernel{mms: map[uint32]*MM{}, tasks: map[uint32]*Task{}}
+	k.activeMM = &MM{Count: 2}
+	return k
+}
+
+// SpawnTask is the table's mm_init realization.
+func (k *Kernel) SpawnTask() *Task {
+	m := &MM{ID: k.nextMM, Users: 1, Count: 1}
+	k.nextMM++
+	k.mms[m.ID] = m
+	t := &Task{mm: m}
+	k.tasks[t.PID] = t
+	return t
+}
+
+// Spawn is exempt: a composite of SpawnTask and the first switch.
+func (k *Kernel) Spawn() *Task {
+	t := k.SpawnTask()
+	k.Switch(t)
+	return t
+}
+
+// Switch is the table's context_switch realization.
+func (k *Kernel) Switch(t *Task) {
+	k.cur = t
+	k.activeMM = t.mm
+}
+
+// SwitchToIdle is the table's borrow_mm realization.
+func (k *Kernel) SwitchToIdle() {
+	k.cur.mm.Count++
+	k.cur = nil
+}
+
+// UseMM is the table's use_mm realization.
+func (k *Kernel) UseMM(t *Task) {
+	t.mm.Users++
+	k.kthreadMM = t.mm
+}
+
+// UnuseMM is the table's unuse_mm realization.
+func (k *Kernel) UnuseMM() {
+	k.kthreadMM.Users--
+	k.kthreadMM = nil
+}
+
+// Exit is the table's exit_mm realization.
+func (k *Kernel) Exit() {
+	k.cur.mm = nil
+	k.cur = nil
+}
+
+// FlushTaskContext is the table's vsid_reassign realization; it
+// mutates nothing tracked (generation bumps live elsewhere) but must
+// still exist for direction A.
+func (k *Kernel) FlushTaskContext() {}
+
+// killTask is an unexported mutator reached from both machine-check
+// delivery paths.
+func (k *Kernel) killTask(t *Task) {
+	t.mm.Users--
+	t.mm = nil
+}
+
+// faultTick is the propagation boundary: its kill must not taint
+// every caller.
+func (k *Kernel) faultTick(t *Task) {
+	k.killTask(t)
+}
+
+// RunFor reaches mutation only through the faultTick boundary, so it
+// is not an MM entry point.
+func (k *Kernel) RunFor(t *Task) {
+	k.faultTick(t)
+}
+
+// DrainMachineChecks is exempt: the synchronous delivery path.
+func (k *Kernel) DrainMachineChecks(t *Task) {
+	k.killTask(t)
+}
+
+// Current mutates nothing; never flagged.
+func (k *Kernel) Current() *Task { return k.cur }
+
+// Wait mutates only the untracked task table; never flagged.
+func (k *Kernel) Wait(t *Task) {
+	delete(k.tasks, t.PID)
+}
+
+func (k *Kernel) Steal(t *Task) { // want `exported entry point Steal mutates context-switch/MM state`
+	k.cur = t
+}
+
+// Evict reaches a tracked delete through a package-local call.
+func (k *Kernel) Evict(m *MM) { // want `exported entry point Evict mutates context-switch/MM state`
+	k.reap(m)
+}
+
+func (k *Kernel) reap(m *MM) {
+	delete(k.mms, m.ID)
+}
+
+func (k *Kernel) Adopt(m *MM) { //mmutricks:transitions-ok replayed through UseMM in the refinement harness
+	m.Count++
+}

@@ -1,0 +1,21 @@
+// Package model is a miniature internal/model for exercising the
+// transitions analyzer's table parsing: one unknown action, and one
+// real action (vsid_reassign) deliberately missing.
+package model
+
+// Action mirrors the real table row.
+type Action struct {
+	Name  string
+	Arity int
+}
+
+// Actions deliberately omits vsid_reassign and adds warp_mm.
+var Actions = [...]Action{ // want `ActionKernel maps "vsid_reassign" -> FlushTaskContext but the model's Actions table has no such action`
+	{Name: "mm_init", Arity: 2},
+	{Name: "context_switch", Arity: 2},
+	{Name: "borrow_mm", Arity: 1},
+	{Name: "use_mm", Arity: 2},
+	{Name: "unuse_mm", Arity: 1},
+	{Name: "exit_mm", Arity: 1},
+	{Name: "warp_mm", Arity: 1}, // want `model action "warp_mm" has no kernel mapping`
+}

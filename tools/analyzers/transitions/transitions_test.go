@@ -1,0 +1,68 @@
+package transitions_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mmutricks/internal/kernel"
+	"mmutricks/internal/model"
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/transitions"
+)
+
+func TestTransitions(t *testing.T) {
+	analysistest.Run(t, "testdata", transitions.Analyzer,
+		"mmutricks/internal/kernel", "mmutricks/internal/model")
+}
+
+// TestTableMatchesModelActions pins ActionKernel's key set to the
+// real model.Actions table, both directions: the analyzer enforces
+// the same equality statically, but this test fails even when the
+// analyzer itself regresses.
+func TestTableMatchesModelActions(t *testing.T) {
+	modelNames := map[string]bool{}
+	for _, a := range model.Actions {
+		modelNames[a.Name] = true
+		if _, ok := transitions.ActionKernel[a.Name]; !ok {
+			t.Errorf("model action %q missing from transitions.ActionKernel", a.Name)
+		}
+	}
+	for name := range transitions.ActionKernel {
+		if !modelNames[name] {
+			t.Errorf("transitions.ActionKernel names %q, which is not a model action", name)
+		}
+	}
+}
+
+// TestTableNamesRealKernelMethods pins every ActionKernel value to an
+// actual method on *kernel.Kernel, so a rename fails here as well as
+// in the analyzer run.
+func TestTableNamesRealKernelMethods(t *testing.T) {
+	kt := reflect.TypeOf(&kernel.Kernel{})
+	for action, fname := range transitions.ActionKernel {
+		if _, ok := kt.MethodByName(fname); !ok {
+			t.Errorf("ActionKernel[%q] = %q, which is not a method on *kernel.Kernel", action, fname)
+		}
+	}
+}
+
+// TestExemptEntryPointsExist: every exemption names a real exported
+// kernel function (a stale exemption would silently shadow a future
+// entry point of the same name), and every exemption carries a
+// justification.
+func TestExemptEntryPointsExist(t *testing.T) {
+	kt := reflect.TypeOf(&kernel.Kernel{})
+	for name, reason := range transitions.ExemptEntryPoints {
+		if reason == "" {
+			t.Errorf("exemption %q has no justification", name)
+		}
+		if name == "New" {
+			continue // package-level constructor, pinned below
+		}
+		if _, ok := kt.MethodByName(name); !ok {
+			t.Errorf("ExemptEntryPoints names %q, which is not a method on *kernel.Kernel", name)
+		}
+	}
+	// Compile-time pin for the one package-level exemption.
+	_ = kernel.New
+}

@@ -1,0 +1,174 @@
+// Command mmustat records and analyzes cycle-exact phase telemetry.
+//
+// Usage:
+//
+//	mmustat record -workload kbuild -cpu 604/185 -config optimized -o stat.json
+//	mmustat timeline stat.json
+//	mmustat phases stat.json
+//	mmustat phases -pprof phases.pb.gz stat.json   (open with go tool pprof)
+//	mmustat diff before.json after.json
+//
+// record runs a workload on a freshly booted simulated machine with
+// the phase ledger and interval sampler enabled (tracing stays on too,
+// so the file is also a valid mmutrace recording) and saves the
+// capture. timeline prints the per-interval view — dominant phase,
+// share, fault pressure per sample. phases prints the end-of-run phase
+// profile with derived rates, attribution, and cost percentiles; with
+// -pprof it also writes the aggregate profile in pprof format. diff
+// compares two recordings phase by phase. Every view is a pure
+// function of the recording bytes: the same file renders identically
+// at any -j.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"mmutricks/internal/report"
+	"mmutricks/internal/telemetry"
+	"mmutricks/internal/tracerec"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: mmustat <record|timeline|phases|diff> [flags]\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "timeline":
+		cmdTimeline(os.Args[2:])
+	case "phases":
+		cmdPhases(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "lmbench", "workload: lmbench, kbuild, stress")
+		cpu      = fs.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
+		cfg      = fs.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
+		iters    = fs.Int("iters", 100, "workload scale")
+		interval = fs.Int("interval", 0, "sampler period in simulated cycles (0 = default)")
+		samples  = fs.Int("samples", 0, "sample-ring capacity (0 = default)")
+		j        = fs.Int("j", runtime.GOMAXPROCS(0), "worker-pool size across sections")
+		out      = fs.String("o", "stat.json", "output file")
+	)
+	fs.Parse(args)
+	report.SetParallelism(*j)
+
+	rec, err := tracerec.Record(tracerec.RecordOptions{
+		Workload:       *workload,
+		CPU:            *cpu,
+		Config:         *cfg,
+		Iters:          *iters,
+		Telemetry:      true,
+		SampleInterval: *interval,
+		SampleCapacity: *samples,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Save(*out); err != nil {
+		fatal(err)
+	}
+	var taken int
+	var dropped uint64
+	for _, s := range rec.Sections {
+		if s.Telemetry != nil {
+			taken += len(s.Telemetry.Samples)
+			dropped += s.Telemetry.Dropped
+		}
+	}
+	fmt.Printf("recorded %s: %d sections, %d samples (%d dropped by the ring) -> %s\n",
+		*workload, len(rec.Sections), taken, dropped, *out)
+}
+
+func cmdTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	fs.Parse(args)
+	tracerec.StatTimeline(os.Stdout, load(fs, "timeline"))
+}
+
+func cmdPhases(args []string) {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	pprofOut := fs.String("pprof", "", "also write the aggregate phase profile in pprof format to this file")
+	fs.Parse(args)
+	rec := load(fs, "phases")
+	tracerec.StatPhases(os.Stdout, rec)
+	if *pprofOut == "" {
+		return
+	}
+	if !rec.HasTelemetry() {
+		fatal(fmt.Errorf("recording has no telemetry — re-record with mmustat record"))
+	}
+	// Aggregate phase cycles across sections; the name vector of the
+	// first section names the indices.
+	names := rec.Sections[0].Telemetry.PhaseNames
+	cycles := make([]uint64, len(names))
+	for _, s := range rec.Sections {
+		for i, c := range s.Telemetry.PhaseCycles {
+			if i < len(cycles) {
+				cycles[i] += c
+			}
+		}
+	}
+	f, err := os.Create(*pprofOut)
+	if err != nil {
+		fatal(err)
+	}
+	if err := telemetry.WriteProfileData(f, names, cycles, rec.Meta.MHz); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote pprof profile -> %s\n", *pprofOut)
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("diff needs exactly two recordings"))
+	}
+	a, err := tracerec.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := tracerec.Load(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	tracerec.StatDiff(os.Stdout, a, b)
+}
+
+// load reads the single recording argument of a subcommand.
+func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("%s needs exactly one recording file", cmd))
+	}
+	rec, err := tracerec.Load(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	return rec
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mmustat: %v\n", err)
+	os.Exit(1)
+}

@@ -66,6 +66,35 @@ func TestStringCoversEveryField(t *testing.T) {
 	}
 }
 
+func TestCounterNamesAndValuesCoverEveryField(t *testing.T) {
+	ty := reflect.TypeOf(Counters{})
+	names := CounterNames()
+	if len(names) != ty.NumField() {
+		t.Fatalf("CounterNames returns %d names for %d fields", len(names), ty.NumField())
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if n != ty.Field(i).Name {
+			t.Errorf("CounterNames[%d] = %q, want field %q", i, n, ty.Field(i).Name)
+		}
+		if seen[n] {
+			t.Errorf("duplicate counter name %q", n)
+		}
+		seen[n] = true
+	}
+	c := distinct(100000)
+	vals := c.Values()
+	if len(vals) != ty.NumField() {
+		t.Fatalf("Values returns %d values for %d fields", len(vals), ty.NumField())
+	}
+	v := reflect.ValueOf(c)
+	for i, got := range vals {
+		if got != v.Field(i).Uint() {
+			t.Errorf("Values[%d] (%s) = %d, want %d", i, names[i], got, v.Field(i).Uint())
+		}
+	}
+}
+
 // diffFields reports exactly which fields a method missed.
 func diffFields(t *testing.T, method string, got, want Counters) {
 	t.Helper()

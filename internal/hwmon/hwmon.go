@@ -8,6 +8,7 @@ package hwmon
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 )
 
@@ -58,6 +59,10 @@ type Counters struct {
 	Forks       uint64
 	Execs       uint64
 	Exits       uint64
+	// KthreadMMSwitches counts UseMM/UnuseMM address-space adoptions by
+	// kernel threads — context-switch work that CtxSwitches does not
+	// cover (the telemetry ctx-switch phase reconciles against the sum).
+	KthreadMMSwitches uint64
 
 	// SwapOuts and SwapIns count pages moved to and from the swap
 	// device under memory pressure.
@@ -73,6 +78,11 @@ type Counters struct {
 	ZombiesReclaimed uint64
 	IdlePagesCleared uint64
 	ClearedPageHits  uint64 // get_free_page served from the cleared list
+	// IdleWaits counts entries into the idle loop (RunIdleFor calls) and
+	// IdleScans counts hash-table reclaim sweeps the idle task started;
+	// both anchor telemetry phase-entry reconciliation identities.
+	IdleWaits uint64
+	IdleScans uint64
 
 	// Machine-check handling (the fault-injection recovery loop). Each
 	// delivery increments MachineChecks plus exactly one of the repair,
@@ -118,6 +128,7 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.Forks -= since.Forks
 	d.Execs -= since.Execs
 	d.Exits -= since.Exits
+	d.KthreadMMSwitches -= since.KthreadMMSwitches
 	d.SwapOuts -= since.SwapOuts
 	d.SwapIns -= since.SwapIns
 	d.OnDemandScans -= since.OnDemandScans
@@ -125,6 +136,8 @@ func (c *Counters) Delta(since Counters) Counters {
 	d.ZombiesReclaimed -= since.ZombiesReclaimed
 	d.IdlePagesCleared -= since.IdlePagesCleared
 	d.ClearedPageHits -= since.ClearedPageHits
+	d.IdleWaits -= since.IdleWaits
+	d.IdleScans -= since.IdleScans
 	d.MachineChecks -= since.MachineChecks
 	d.MCRepairsTLB -= since.MCRepairsTLB
 	d.MCRepairsHTAB -= since.MCRepairsHTAB
@@ -164,6 +177,7 @@ func (c *Counters) Add(o Counters) {
 	c.Forks += o.Forks
 	c.Execs += o.Execs
 	c.Exits += o.Exits
+	c.KthreadMMSwitches += o.KthreadMMSwitches
 	c.SwapOuts += o.SwapOuts
 	c.SwapIns += o.SwapIns
 	c.OnDemandScans += o.OnDemandScans
@@ -171,6 +185,8 @@ func (c *Counters) Add(o Counters) {
 	c.ZombiesReclaimed += o.ZombiesReclaimed
 	c.IdlePagesCleared += o.IdlePagesCleared
 	c.ClearedPageHits += o.ClearedPageHits
+	c.IdleWaits += o.IdleWaits
+	c.IdleScans += o.IdleScans
 	c.MachineChecks += o.MachineChecks
 	c.MCRepairsTLB += o.MCRepairsTLB
 	c.MCRepairsHTAB += o.MCRepairsHTAB
@@ -178,6 +194,30 @@ func (c *Counters) Add(o Counters) {
 	c.MCRepairsCache += o.MCRepairsCache
 	c.MCEscalations += o.MCEscalations
 	c.MCSpurious += o.MCSpurious
+}
+
+// CounterNames returns the Go field name of every counter, in
+// declaration order. Telemetry recordings serialize sampled counter
+// snapshots as bare value arrays and store this name vector once, so
+// the order here is a (reflection-derived, hence drift-proof) part of
+// the recording format.
+func CounterNames() []string {
+	ty := reflect.TypeOf(Counters{})
+	names := make([]string, ty.NumField())
+	for i := range names {
+		names[i] = ty.Field(i).Name
+	}
+	return names
+}
+
+// Values returns every counter value in CounterNames order.
+func (c *Counters) Values() []uint64 {
+	v := reflect.ValueOf(*c)
+	out := make([]uint64, v.NumField())
+	for i := range out {
+		out[i] = v.Field(i).Uint()
+	}
+	return out
 }
 
 // TLBMissRate returns TLB misses / (hits+misses); 0 when idle.
@@ -238,6 +278,7 @@ func (c *Counters) String() string {
 	row("forks", c.Forks)
 	row("execs", c.Execs)
 	row("exits", c.Exits)
+	row("kthread-mm-switches", c.KthreadMMSwitches)
 	row("swap-outs", c.SwapOuts)
 	row("swap-ins", c.SwapIns)
 	row("ondemand-scans", c.OnDemandScans)
@@ -245,6 +286,8 @@ func (c *Counters) String() string {
 	row("zombies-reclaimed", c.ZombiesReclaimed)
 	row("idle-pages-cleared", c.IdlePagesCleared)
 	row("cleared-page-hits", c.ClearedPageHits)
+	row("idle-waits", c.IdleWaits)
+	row("idle-scans", c.IdleScans)
 	row("machine-checks", c.MachineChecks)
 	row("mc-repairs-tlb", c.MCRepairsTLB)
 	row("mc-repairs-htab", c.MCRepairsHTAB)

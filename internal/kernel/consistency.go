@@ -100,6 +100,9 @@ func (r *resolver) canonicalFrame(vpn arch.VPN) (arch.PFN, bool, error) {
 //  6. mm structure: live descriptors have Count > 0, the active space
 //     is live and matches current's mm, exited tasks hold no mm, and
 //     UseMM spans pin the CPU (no current task, active == adopted).
+//  7. Phase-cycle conservation: when the telemetry ledger is enabled,
+//     its attributed cycles sum exactly to the clock — every simulated
+//     cycle belongs to exactly one phase.
 //
 // It returns an error describing the first violation found, or nil.
 func (k *Kernel) CheckConsistency() error {
@@ -173,6 +176,15 @@ func (k *Kernel) CheckConsistency() error {
 		})
 		if walkErr != nil {
 			return walkErr
+		}
+	}
+
+	// 7. Phase-cycle conservation. CheckConservation accrues before
+	// checking, so running this sweep from inside a phase (the
+	// machine-check handler calls it mid-span) is fine.
+	if ph := k.M.Ph; ph.Enabled() {
+		if err := ph.CheckConservation(); err != nil {
+			return err
 		}
 	}
 

@@ -38,14 +38,18 @@ func (k *Kernel) flushPage(t *Task, ea arch.EffectiveAddr) {
 // configured (§7), ranges bigger than the cutoff are converted to a
 // whole-context flush whose amortized cost is far lower.
 func (k *Kernel) flushRange(t *Task, start arch.EffectiveAddr, pages int) {
-	defer k.span(PathFlush)()
 	if k.cfg.FlushRangeCutoff > 0 && pages > k.cfg.FlushRangeCutoff {
 		// The §7 cutoff decision: this range is big enough that a
 		// whole-context flush is cheaper than page-by-page searches.
+		// The cutoff path opens no flush span of its own — the emit is
+		// free, and flushContext below counts the one flush that
+		// actually happens, keeping span entries 1:1 with the flush
+		// counters.
 		k.M.Trc.Emit(mmtrace.KindFlushCutoff, t.Segs[start.SegIndex()], start, 0, uint32(pages))
 		k.flushContext(t)
 		return
 	}
+	defer k.span(PathFlush)()
 	k.M.Mon.FlushRange++
 	begin := k.M.Led.Now()
 	k.kexec(textFlush+0x200, flushRangeInstr)

@@ -55,9 +55,6 @@ type Kernel struct {
 	// swapped tracks pages resident on the swap device (swap.go).
 	swapped map[swapKey]swapSlot
 
-	// prof attributes cycles to kernel paths when enabled (profile.go).
-	prof *Profiler
-
 	// idleScan is the idle task's position in its hash-table sweep.
 	idleScan int
 

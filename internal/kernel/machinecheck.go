@@ -109,6 +109,7 @@ func (k *Kernel) machineCheck(p faultinject.Pending) {
 	k.inMC = true
 	defer func() { k.inMC = false }()
 
+	defer k.span(PathMCRepair)()
 	k.M.Mon.MachineChecks++
 	start := k.M.Led.Now()
 	k.fetchPhysText(textMC, mcEntryInstr)

@@ -133,12 +133,14 @@ func (k *Kernel) UseMM(t *Task) {
 		panic(fmt.Sprintf("kernel: UseMM on task %d without a live mm", t.PID))
 	}
 	defer k.span(PathSched)()
+	k.M.Mon.KthreadMMSwitches++
 	k.kexec(textSched+0x600, useMMInstr)
 	m := t.mm
 	k.mmGet(m)
 	old := k.activeMM
 	k.activeMM = m
 	k.kthreadMM = m
+	k.M.Ph.SetTask(0, m.ID)
 	k.loadSegments(t)
 	k.mmDrop(old)
 }
@@ -153,6 +155,7 @@ func (k *Kernel) UnuseMM() {
 		panic("kernel: UnuseMM without UseMM")
 	}
 	defer k.span(PathSched)()
+	k.M.Mon.KthreadMMSwitches++
 	k.kexec(textSched+0x700, unuseMMInstr)
 	k.mmGrab(m)
 	k.kthreadMM = nil
@@ -191,6 +194,9 @@ func (k *Kernel) SwitchToIdle() {
 	k.mmGrab(t.mm)
 	k.cur = nil
 	k.M.Trc.SetTask(0)
+	// PID 0 on the borrowed space: idle cycles still attribute to the
+	// address space the segment registers name.
+	k.M.Ph.SetTask(0, k.activeMM.ID)
 }
 
 // MM returns the task's address-space descriptor (nil after exit).

@@ -1,143 +1,65 @@
 package kernel
 
-import (
-	"fmt"
-	"strings"
-
-	"mmutricks/internal/clock"
-)
+import "mmutricks/internal/telemetry"
 
 // Path identifies one kernel code path for cycle attribution — the
 // simulated equivalent of the instrumented-kernel profiles the paper's
 // methodology leans on ("timing and instrumenting a complete recompile
 // of the kernel", "characterize the system's behavior in great
 // detail", §4).
-type Path int
+//
+// Path is the machine-wide telemetry phase: the kernel's span sites
+// push phases onto the machine's phase ledger, which also receives the
+// instruction-fetch and hardware-walk transfers the machine layer
+// attributes below the kernel. The old kernel-private Profiler is
+// gone; its seven paths map onto the richer phase taxonomy.
+type Path = telemetry.Phase
 
 const (
-	// PathUser is everything outside the kernel: the program itself.
-	PathUser Path = iota
-	// PathMiss is TLB/hash-miss reload handling.
-	PathMiss
-	// PathFault is do_page_fault (demand paging, COW breaks, swap).
-	PathFault
-	// PathSyscall is syscall entry/exit and in-kernel service work.
-	PathSyscall
-	// PathSched is the scheduler and context switch.
-	PathSched
-	// PathFlush is TLB/hash-table flushing.
-	PathFlush
-	// PathIdle is the idle task.
-	PathIdle
-	numPaths
+	PathUser    = telemetry.PhaseUser
+	PathMiss    = telemetry.PhaseTLBMiss
+	PathFault   = telemetry.PhaseFault
+	PathSyscall = telemetry.PhaseSyscall
+	PathSched   = telemetry.PhaseCtxSwitch
+	PathFlush   = telemetry.PhaseFlush
+	PathIdle    = telemetry.PhaseIdle
+
+	// The phases beyond the original profiler's seven.
+	PathFetch       = telemetry.PhaseFetch
+	PathIdleReclaim = telemetry.PhaseIdleReclaim
+	PathPreZero     = telemetry.PhasePreZero
+	PathSwap        = telemetry.PhaseSwap
+	PathMCRepair    = telemetry.PhaseMCRepair
 )
 
 // Paths lists all attribution paths for iteration.
-var Paths = []Path{PathUser, PathMiss, PathFault, PathSyscall, PathSched, PathFlush, PathIdle}
+var Paths = telemetry.AllPhases
 
-func (p Path) String() string {
-	switch p {
-	case PathUser:
-		return "user"
-	case PathMiss:
-		return "miss-handlers"
-	case PathFault:
-		return "page-faults"
-	case PathSyscall:
-		return "syscalls"
-	case PathSched:
-		return "scheduler"
-	case PathFlush:
-		return "flushing"
-	case PathIdle:
-		return "idle"
-	}
-	return fmt.Sprintf("path(%d)", int(p))
-}
-
-// Profiler attributes simulated cycles to kernel paths. Nesting is
-// honoured: cycles inside a miss handler taken during a syscall go to
-// the miss handler (the innermost path), as a sampling profiler on the
-// real machine would report.
-type Profiler struct {
-	led     *clock.Ledger
-	enabled bool
-	stack   []Path
-	mark    clock.Cycles
-	cycles  [numPaths]clock.Cycles
-}
-
-// EnableProfiling turns the profiler on (it is off, and free, by
-// default) and resets any collected data.
+// EnableProfiling turns the machine's phase ledger on (it is off, and
+// one never-taken branch per probe, by default) and resets any
+// collected data. Sampling stays off; recordings that want the
+// interval sampler enable the ledger with explicit telemetry.Options
+// instead.
 func (k *Kernel) EnableProfiling() {
-	k.prof = &Profiler{led: k.M.Led, enabled: true, mark: k.M.Led.Now()}
+	k.M.Ph.Enable(telemetry.Options{})
 }
 
-// Profile returns the per-path cycle totals collected so far; nil if
-// profiling was never enabled.
-func (k *Kernel) Profile() *Profiler { return k.prof }
-
-// accrue charges the cycles since the last mark to the current path.
-func (p *Profiler) accrue() {
-	now := p.led.Now()
-	cur := PathUser
-	if n := len(p.stack); n > 0 {
-		cur = p.stack[n-1]
+// Profile returns the phase ledger holding the per-path cycle totals
+// collected so far; nil if profiling was never enabled.
+func (k *Kernel) Profile() *telemetry.Phases {
+	if !k.M.Ph.Enabled() {
+		return nil
 	}
-	p.cycles[cur] += now - p.mark
-	p.mark = now
+	return k.M.Ph
 }
 
 // span enters a path and returns the closure that leaves it; use as
 //
 //	defer k.span(PathSyscall)()
+//
+// The phasebalance analyzer proves every span taken is exited on all
+// paths, which is what lets CheckConsistency demand exact phase-cycle
+// conservation.
 func (k *Kernel) span(path Path) func() {
-	p := k.prof
-	if p == nil || !p.enabled {
-		return func() {}
-	}
-	p.accrue()
-	p.stack = append(p.stack, path)
-	return func() {
-		p.accrue()
-		p.stack = p.stack[:len(p.stack)-1]
-	}
-}
-
-// Cycles returns the cycles attributed to a path.
-func (p *Profiler) Cycles(path Path) clock.Cycles {
-	return p.cycles[path]
-}
-
-// Total returns all attributed cycles (including user time).
-func (p *Profiler) Total() clock.Cycles {
-	p.accrue()
-	var t clock.Cycles
-	for _, c := range p.cycles {
-		t += c
-	}
-	return t
-}
-
-// Fraction returns a path's share of total attributed cycles.
-func (p *Profiler) Fraction(path Path) float64 {
-	t := p.Total()
-	if t == 0 {
-		return 0
-	}
-	return float64(p.cycles[path]) / float64(t)
-}
-
-// String renders the flat profile.
-func (p *Profiler) String() string {
-	var b strings.Builder
-	t := p.Total()
-	if t == 0 {
-		t = 1
-	}
-	for _, path := range Paths {
-		fmt.Fprintf(&b, "%-14s %12d cycles %6.2f%%\n", path, p.cycles[path],
-			100*float64(p.cycles[path])/float64(t))
-	}
-	return b.String()
+	return k.M.Ph.Span(path)
 }

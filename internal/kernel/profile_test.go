@@ -48,8 +48,14 @@ func TestProfilerAttributesPaths(t *testing.T) {
 	if sum < 0.999 || sum > 1.001 {
 		t.Fatalf("fractions sum to %f", sum)
 	}
-	if !strings.Contains(p.String(), "miss-handlers") {
+	if !strings.Contains(p.String(), "tlb-miss") {
 		t.Error("String() missing path names")
+	}
+	if err := p.CheckConservation(); err != nil {
+		t.Errorf("conservation after a mixed workload: %v", err)
+	}
+	if err := k.CheckConsistency(); err != nil {
+		t.Errorf("consistency with profiling on: %v", err)
 	}
 }
 

@@ -80,6 +80,7 @@ func (k *Kernel) switchTo(t *Task, charge bool) {
 	k.activeMM = t.mm
 	k.cur = t
 	k.M.Trc.SetTask(t.PID)
+	k.M.Ph.SetTask(t.PID, t.mm.ID)
 	k.loadSegments(t)
 	k.loadFBBAT(t)
 	if t.sigPending > 0 {
@@ -102,6 +103,7 @@ type IdleStats struct {
 // clears free pages (§9).
 func (k *Kernel) RunIdleFor(cycles clock.Cycles) IdleStats {
 	defer k.span(PathIdle)()
+	k.M.Mon.IdleWaits++
 	var st IdleStats
 	if k.cfg.IdleCacheLock {
 		// §10.1: nothing the idle task does is time-critical, so lock
@@ -117,14 +119,7 @@ func (k *Kernel) RunIdleFor(cycles clock.Cycles) IdleStats {
 		k.kexec(textIdle, idlePollInstr)
 
 		if k.cfg.IdleReclaim && k.cfg.LazyFlush && k.usesHTAB() {
-			var n int
-			scanStart := k.M.Led.Now()
-			k.idleScan, n = k.M.MMU.HTAB.ReclaimScan(k.idleScan, idleReclaimGroups, k.M, k.zombie)
-			k.M.Mon.ZombiesReclaimed += uint64(n)
-			st.Reclaimed += uint64(n)
-			if n > 0 {
-				k.M.Trc.Emit(mmtrace.KindIdleReclaim, 0, 0, k.M.Led.Now()-scanStart, uint32(n))
-			}
+			st.Reclaimed += uint64(k.idleReclaimScan())
 		}
 
 		switch k.cfg.IdleClear {
@@ -161,9 +156,25 @@ func (k *Kernel) RunIdleFor(cycles clock.Cycles) IdleStats {
 	return st
 }
 
+// idleReclaimScan is one idle-poll sweep over the hash table for
+// zombie PTEs (§7), returning how many it reclaimed.
+func (k *Kernel) idleReclaimScan() int {
+	defer k.span(PathIdleReclaim)()
+	k.M.Mon.IdleScans++
+	var n int
+	scanStart := k.M.Led.Now()
+	k.idleScan, n = k.M.MMU.HTAB.ReclaimScan(k.idleScan, idleReclaimGroups, k.M, k.zombie)
+	k.M.Mon.ZombiesReclaimed += uint64(n)
+	if n > 0 {
+		k.M.Trc.Emit(mmtrace.KindIdleReclaim, 0, 0, k.M.Led.Now()-scanStart, uint32(n))
+	}
+	return n
+}
+
 // clearPageIdle clears one page from the idle task: a store per line,
 // cached or cache-inhibited per the experiment variant.
 func (k *Kernel) clearPageIdle(pfn arch.PFN, inhibited bool) {
+	defer k.span(PathPreZero)()
 	k.M.Mon.IdlePagesCleared++
 	start := k.M.Led.Now()
 	k.kexec(textIdle+0x200, idleClearInstr)

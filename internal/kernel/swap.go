@@ -45,7 +45,7 @@ type swapSlot int
 
 // swapOut writes one page to the swap device and releases its frame.
 func (k *Kernel) swapOut(t *Task, ea arch.EffectiveAddr, pfn arch.PFN) {
-	defer k.span(PathFault)()
+	defer k.span(PathSwap)()
 	k.M.Mon.SwapOuts++
 	start := k.M.Led.Now()
 	defer func() {
@@ -72,7 +72,7 @@ func (k *Kernel) swapOut(t *Task, ea arch.EffectiveAddr, pfn arch.PFN) {
 
 // swapIn brings a swapped page back for the current fault.
 func (k *Kernel) swapIn(t *Task, ea arch.EffectiveAddr) arch.PFN {
-	defer k.span(PathFault)()
+	defer k.span(PathSwap)()
 	key := swapKey{t.PID, ea.PageBase().PageNumber()}
 	if _, ok := k.swapped[key]; !ok {
 		panic(fmt.Sprintf("kernel: swapIn of resident page %v", ea))

@@ -15,6 +15,7 @@ import (
 	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/phys"
 	"mmutricks/internal/ppc"
+	"mmutricks/internal/telemetry"
 )
 
 // Machine is one complete simulated computer.
@@ -32,6 +33,10 @@ type Machine struct {
 	// Trc is the machine's event tracer. Always non-nil, constructed
 	// disabled; enable it (and snapshot Mon) to record a window.
 	Trc *mmtrace.Tracer
+	// Ph is the machine's phase ledger (cycle attribution + interval
+	// sampling). Always non-nil, constructed disabled; the kernel's
+	// EnableProfiling and the recording drivers enable it.
+	Ph *telemetry.Phases
 
 	// Inj is the attached fault injector (nil = no injection; the
 	// injection points reduce to one never-taken branch).
@@ -83,8 +88,10 @@ func NewWithOptions(model clock.CPUModel, opts Options) *Machine {
 		m.L2 = cache.New("L2", model.L2Size, 1, model.LineSize)
 	}
 	m.Trc = mmtrace.NewTracer(m.Led, opts.TraceCapacity)
+	m.Ph = telemetry.New(m.Led, m.Mon)
 	htab := ppc.NewHTAB(groups, m.Mem.Layout().HTABBase)
 	m.MMU = ppc.NewMMU(model, htab, m.Led, m, m.Mon, m.Trc)
+	m.MMU.SetPhases(m.Ph)
 	if opts.Injector != nil {
 		m.Inj = opts.Injector
 		m.MMU.SetInjector(opts.Injector)
@@ -226,6 +233,7 @@ func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
 	if inhibited {
 		m.ICache.AccessInhibited(class)
 		m.Led.Charge(clock.Cycles(m.Model.MemLatency))
+		m.Ph.Attribute(telemetry.PhaseFetch, clock.Cycles(m.Model.MemLatency))
 		m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), clock.Cycles(m.Model.MemLatency), uint32(class))
 		return
 	}
@@ -236,6 +244,7 @@ func (m *Machine) Fetch(pa arch.PhysAddr, class cache.Class, inhibited bool) {
 	}
 	fill := clock.Cycles(m.fillCost(pa, class, false))
 	m.Led.Charge(fill)
+	m.Ph.Attribute(telemetry.PhaseFetch, fill)
 	m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa), fill, uint32(class))
 }
 
@@ -256,4 +265,5 @@ func (m *Machine) Reset() {
 	m.MMU.InvalidateTLBs()
 	*m.Mon = hwmon.Counters{}
 	m.Trc.Reset()
+	m.Ph.Restart()
 }

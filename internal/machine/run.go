@@ -25,6 +25,7 @@ import (
 	"mmutricks/internal/cache"
 	"mmutricks/internal/clock"
 	"mmutricks/internal/mmtrace"
+	"mmutricks/internal/telemetry"
 )
 
 // runMissCap bounds the per-chunk miss scratch. Runs are chunked so
@@ -187,10 +188,12 @@ func (m *Machine) FetchRun(pa arch.PhysAddr, n, stride int, class cache.Class, i
 		lat := clock.Cycles(m.Model.MemLatency)
 		if !m.Trc.Enabled() {
 			m.Led.Charge(lat * clock.Cycles(n))
+			m.Ph.Attribute(telemetry.PhaseFetch, lat*clock.Cycles(n))
 			return
 		}
 		for i := 0; i < n; i++ {
 			m.Led.Charge(lat)
+			m.Ph.Attribute(telemetry.PhaseFetch, lat)
 			m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(pa+arch.PhysAddr(i*stride)), lat, uint32(class))
 		}
 		return
@@ -200,7 +203,9 @@ func (m *Machine) FetchRun(pa arch.PhysAddr, n, stride int, class cache.Class, i
 		// scalar fetch path), so only the miss count matters.
 		nmiss, _ := m.ICache.AccessRunCount(pa, n, stride, class, false)
 		if nmiss > 0 {
-			m.Led.Charge(clock.Cycles(nmiss * m.Model.MemLatency))
+			fills := clock.Cycles(nmiss * m.Model.MemLatency)
+			m.Led.Charge(fills)
+			m.Ph.Attribute(telemetry.PhaseFetch, fills)
 		}
 		return
 	}
@@ -220,12 +225,14 @@ func (m *Machine) FetchRun(pa arch.PhysAddr, n, stride int, class cache.Class, i
 			}
 			if total > 0 {
 				m.Led.Charge(total)
+				m.Ph.Attribute(telemetry.PhaseFetch, total)
 			}
 		} else {
 			for i := 0; i < nmiss; i++ {
 				a := pa + arch.PhysAddr(int(m.missBuf[i].Index)*stride)
 				fill := clock.Cycles(m.fillCost(a, class, false))
 				m.Led.Charge(fill)
+				m.Ph.Attribute(telemetry.PhaseFetch, fill)
 				m.Trc.Emit(mmtrace.KindCacheFill, 0, arch.EffectiveAddr(a), fill, uint32(class))
 			}
 		}

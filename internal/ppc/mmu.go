@@ -6,6 +6,7 @@ import (
 	"mmutricks/internal/faultinject"
 	"mmutricks/internal/hwmon"
 	"mmutricks/internal/mmtrace"
+	"mmutricks/internal/telemetry"
 )
 
 // MMU ties the translation resources together for one CPU. It performs
@@ -30,6 +31,9 @@ type MMU struct {
 	bus Bus
 	mon *hwmon.Counters
 	trc *mmtrace.Tracer
+	// ph is the phase ledger the 604's hardware walk attributes its
+	// cycles to (nil = no attribution; the machine always sets one).
+	ph *telemetry.Phases
 	// inj is the attached fault injector; nil (the default) keeps the
 	// injection points to a single never-taken branch.
 	inj *faultinject.Injector
@@ -54,6 +58,7 @@ func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *h
 		bus:   bus,
 		mon:   mon,
 		trc:   trc,
+		ph:    telemetry.New(led, mon),
 	}
 	if model.SplitTLB {
 		m.TLB = NewTLB(model.TLBEntries/2, model.TLBWays)
@@ -68,6 +73,10 @@ func NewMMU(model clock.CPUModel, htab *HTAB, led *clock.Ledger, bus Bus, mon *h
 	m.DBAT.gen = &m.gen
 	return m
 }
+
+// SetPhases replaces the phase ledger the hardware walk attributes to;
+// the machine points the MMU at its own ledger during construction.
+func (m *MMU) SetPhases(p *telemetry.Phases) { m.ph = p }
 
 // Gen returns the current translation generation. Any cached
 // translation minted under an older generation must be revalidated.
@@ -201,6 +210,10 @@ func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 			m.trc.Emit(mmtrace.KindTLBEvict, vpn.VSID(), ea, 0, 0)
 		}
 		m.trc.Emit(mmtrace.KindTLBInsert, vpn.VSID(), ea, 0, 0)
+		// The walk ran in hardware, under whatever phase the faulting
+		// access belongs to; an exact transfer moves its cycles to
+		// tlb-miss without a span (no defer on the noalloc path).
+		m.ph.Attribute(telemetry.PhaseTLBMiss, walkCost)
 		return Result{PA: pte.RPN.Addr() + arch.PhysAddr(ea.Offset()), Inhibited: pte.CacheInhibited}
 	}
 	// Neither bucket matched: hash-table miss interrupt (>= 91 cycles
@@ -210,6 +223,9 @@ func (m *MMU) Translate(ea arch.EffectiveAddr, instr bool) Result {
 	m.led.Charge(clock.Cycles(m.Model.HashMissInterrupt))
 	m.trc.Emit(mmtrace.KindHTABMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)
 	m.trc.Emit(mmtrace.KindTLBMiss, vpn.VSID(), ea, m.led.Now()-walkStart, 0)
+	// Failed walk plus the interrupt-invocation cost, transferred like
+	// the hit path above; the software handler's span covers the rest.
+	m.ph.Attribute(telemetry.PhaseTLBMiss, m.led.Now()-walkStart)
 	return Result{Fault: FaultHashMiss, VPN: vpn}
 }
 

@@ -9,6 +9,7 @@ import (
 	"mmutricks/internal/kbuild"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/machine"
+	"mmutricks/internal/telemetry"
 )
 
 func init() {
@@ -30,14 +31,15 @@ func runProfile(s Scale) *Table {
 	cfg.WorkPages = 320
 	cfg.Passes = 2
 	cfg.StrayRefs = 8
-	run := func(kcfg kernel.Config) *kernel.Profiler {
+	run := func(kcfg kernel.Config) *telemetry.Phases {
 		k := kernel.New(machine.New(clock.PPC603At180()), kcfg)
 		k.EnableProfiling()
 		kbuild.Run(k, cfg)
+		mustConsistent(k)
 		return k.Profile()
 	}
 	cfgs := []kernel.Config{kernel.Unoptimized(), kernel.Optimized()}
-	var res [2]*kernel.Profiler
+	var res [2]*telemetry.Phases
 	RowSet(2, func(i int) { res[i] = run(cfgs[i]) })
 	unopt, opt := res[0], res[1]
 

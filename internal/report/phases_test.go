@@ -1,0 +1,53 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestTelemetryPhasesGolden pins the rendered phase-breakdown table at
+// Quick scale to a checked-in golden file: the phase vocabulary, the
+// column layout, the cycle shares, and the reconciliation notes are all
+// part of mmureport -all output and must only change deliberately
+// (regenerate with `go test ./internal/report -run Golden -update`).
+// Rendering through RowSet at -j 1 and -j 4 must also agree byte for
+// byte — the telemetry ledger does not break harness determinism.
+func TestTelemetryPhasesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the compile workload four times")
+	}
+	e, ok := Find("telemetry-phases")
+	if !ok {
+		t.Fatal("telemetry-phases missing")
+	}
+	SetParallelism(1)
+	serial := e.Run(Quick).Render()
+	SetParallelism(4)
+	parallel := e.Run(Quick).Render()
+	SetParallelism(1)
+	if serial != parallel {
+		t.Fatal("telemetry-phases output differs between -j 1 and -j 4")
+	}
+
+	golden := filepath.Join("testdata", "telemetry-phases.quick.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(serial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if serial != string(want) {
+		t.Errorf("telemetry-phases output drifted from %s (regenerate with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, serial, want)
+	}
+}

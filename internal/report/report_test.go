@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"sec7-ondemand", "sec8-ptcache", "sec9-idleclear",
 		"sec10-futures", "tlb-reach", "htab-size", "swap-flush", "profile",
 		"interactions", "mem-hierarchy", "trace-histograms", "chaos-soak",
+		"telemetry-phases",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

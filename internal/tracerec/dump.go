@@ -51,6 +51,16 @@ type chromeMeta struct {
 	Args map[string]any `json:"args"`
 }
 
+// chromeCounter is a counter-track sample ("C" event): Perfetto draws
+// one stacked area chart per name from the args values.
+type chromeCounter struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
 // WriteChromeTrace writes the recording in Chrome trace-event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
 // section becomes a process (pid = section index), each task a thread;
@@ -86,6 +96,32 @@ func (r *Recording) WriteChromeTrace(w io.Writer) error {
 				Tid:  e.Task,
 				Args: args,
 			})
+		}
+		// Telemetry samples become counter tracks: per-interval phase
+		// cycle deltas (a stacked where-did-the-time-go chart) and the
+		// fault rate, on the same timebase as the event spans.
+		if td := s.Telemetry; td != nil {
+			prev := make([]uint64, len(td.PhaseNames))
+			var prevMinor, prevMajor uint64
+			for _, smp := range td.Samples {
+				phases := map[string]any{}
+				for i, name := range td.PhaseNames {
+					var c uint64
+					if i < len(smp.Phases) {
+						c = smp.Phases[i]
+					}
+					phases[name] = c - prev[i]
+					prev[i] = c
+				}
+				minor := counterAt(td, smp, "MinorFaults")
+				major := counterAt(td, smp, "MajorFaults")
+				out.TraceEvents = append(out.TraceEvents,
+					chromeCounter{Name: "phase cycles", Ph: "C", Ts: us(smp.Cycle), Pid: pid, Args: phases},
+					chromeCounter{Name: "faults", Ph: "C", Ts: us(smp.Cycle), Pid: pid, Args: map[string]any{
+						"minor": minor - prevMinor, "major": major - prevMajor,
+					}})
+				prevMinor, prevMajor = minor, major
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

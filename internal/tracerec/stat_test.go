@@ -1,0 +1,171 @@
+package tracerec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mmutricks/internal/report"
+	"mmutricks/internal/telemetry"
+)
+
+// renderAll runs every mmustat renderer over a recording and returns
+// the concatenated output — the byte string the determinism tests
+// compare.
+func renderAll(t *testing.T, rec *Recording) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	StatTimeline(&buf, rec)
+	StatPhases(&buf, rec)
+	StatDiff(&buf, rec, rec)
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The acceptance criterion: recordings made with telemetry enabled,
+// and every mmustat view of them, are byte-identical at -j 1 and -j 8
+// on both the lmbench suite and the kernel compile.
+func TestStatDeterministicAcrossParallelism(t *testing.T) {
+	for _, wl := range []string{"lmbench", "kbuild"} {
+		opts := RecordOptions{
+			Workload: wl, CPU: "604/185", Config: "optimized", Iters: 20,
+			Telemetry: true, SampleInterval: 1 << 16, SampleCapacity: 128,
+		}
+		report.SetParallelism(1)
+		recSerial := record(t, opts)
+		serialBytes := serialize(t, recSerial)
+		serialOut := renderAll(t, recSerial)
+
+		report.SetParallelism(8)
+		recPar := record(t, opts)
+		report.SetParallelism(1)
+		if !bytes.Equal(serialBytes, serialize(t, recPar)) {
+			t.Fatalf("%s: telemetry recording differs between -j 1 and -j 8", wl)
+		}
+		if !bytes.Equal(serialOut, renderAll(t, recPar)) {
+			t.Fatalf("%s: mmustat output differs between -j 1 and -j 8", wl)
+		}
+	}
+}
+
+// Telemetry recordings round-trip through save/load, and recordings
+// made without telemetry keep the field out of the JSON entirely.
+func TestTelemetryRoundTripAndOmission(t *testing.T) {
+	plain := record(t, RecordOptions{Workload: "lmbench", CPU: "604/185", Config: "optimized", Iters: 5})
+	if bytes.Contains(serialize(t, plain), []byte(`"telemetry"`)) {
+		t.Fatal("plain recording serialized a telemetry field")
+	}
+	if plain.HasTelemetry() {
+		t.Fatal("plain recording claims telemetry")
+	}
+
+	rec := record(t, RecordOptions{
+		Workload: "lmbench", CPU: "604/185", Config: "optimized", Iters: 5,
+		Telemetry: true, SampleInterval: 1 << 16,
+	})
+	if !rec.HasTelemetry() {
+		t.Fatal("telemetry recording missing telemetry sections")
+	}
+	data := serialize(t, rec)
+	var back Recording
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, serialize(t, &back)) {
+		t.Fatal("telemetry recording changed across a JSON round trip")
+	}
+}
+
+// The sample ring keeps the first SampleCapacity samples and counts
+// the rest as dropped, so a truncated timeline still differenceable
+// from its origin.
+func TestTelemetrySampleRingOverflow(t *testing.T) {
+	rec := record(t, RecordOptions{
+		Workload: "kbuild", CPU: "604/185", Config: "optimized", Iters: 40,
+		Telemetry: true, SampleInterval: 1 << 12, SampleCapacity: 8,
+	})
+	td := rec.Sections[0].Telemetry
+	if len(td.Samples) != 8 {
+		t.Fatalf("ring holds %d samples, want its capacity 8", len(td.Samples))
+	}
+	if td.Dropped == 0 {
+		t.Fatal("a 4Ki-cycle interval over a kbuild run must overflow an 8-slot ring")
+	}
+	for i := 1; i < len(td.Samples); i++ {
+		if td.Samples[i].Boundary <= td.Samples[i-1].Boundary {
+			t.Fatalf("sample %d boundary %d not after %d", i, td.Samples[i].Boundary, td.Samples[i-1].Boundary)
+		}
+	}
+}
+
+// The serialized phase totals obey the same conservation identity the
+// live ledger proves: they sum to the cycles the section consumed.
+func TestTelemetryPhaseTotalsConserve(t *testing.T) {
+	rec := record(t, RecordOptions{
+		Workload: "stress", CPU: "603/133", Config: "optimized", Iters: 20,
+		Telemetry: true,
+	})
+	for _, s := range rec.Sections {
+		td := s.Telemetry
+		if td == nil {
+			t.Fatalf("section %s: no telemetry", s.Name)
+		}
+		var attributed uint64
+		for _, c := range td.PhaseCycles {
+			attributed += c
+		}
+		var tasks uint64
+		for _, row := range td.Tasks {
+			tasks += row.Cycles
+		}
+		if tasks != attributed {
+			t.Errorf("section %s: task attribution %d != phase total %d", s.Name, tasks, attributed)
+		}
+		var mms uint64
+		for _, row := range td.MMs {
+			mms += row.Cycles
+		}
+		if mms != attributed {
+			t.Errorf("section %s: mm attribution %d != phase total %d", s.Name, mms, attributed)
+		}
+	}
+}
+
+// Every phase-table row and every derived-rate line comes out of
+// StatPhases; StatTimeline carries the sample count it promises.
+func TestStatRenderersCoverPhases(t *testing.T) {
+	rec := record(t, RecordOptions{
+		Workload: "lmbench", CPU: "604/185", Config: "optimized", Iters: 20,
+		Telemetry: true, SampleInterval: 1 << 14,
+	})
+	var phases bytes.Buffer
+	StatPhases(&phases, rec)
+	out := phases.String()
+	for _, name := range telemetry.PhaseNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("StatPhases output missing phase %q", name)
+		}
+	}
+	for _, want := range []string{"derived rates:", "faults / Mcycle", "per-task cycles", "p999<="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("StatPhases output missing %q", want)
+		}
+	}
+
+	var timeline bytes.Buffer
+	StatTimeline(&timeline, rec)
+	if !strings.Contains(timeline.String(), "dominant") {
+		t.Error("StatTimeline missing its header")
+	}
+
+	var chrome bytes.Buffer
+	if err := rec.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"ph":"C"`) {
+		t.Error("chrome dump of a telemetry recording missing counter events")
+	}
+}

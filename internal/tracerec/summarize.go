@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mmutricks/internal/mmtrace"
+	"mmutricks/internal/telemetry"
 )
 
 // addressedKinds are the event classes whose EA names a virtual page a
@@ -37,11 +38,16 @@ func Summarize(w io.Writer, r *Recording, topN int) int {
 		fmt.Fprintf(w, "\n== section %s: %d events emitted, %d dropped by the ring ==\n",
 			s.Name, s.Emitted, s.Dropped)
 
-		// Per-class histogram table.
-		fmt.Fprintf(w, "%-20s %10s %14s %10s\n", "event class", "count", "cycles", "mean")
+		// Per-class histogram table. The percentile columns are log2
+		// bucket upper bounds (shared helper with the telemetry
+		// sampler), so they are exact to within one power of two.
+		fmt.Fprintf(w, "%-20s %10s %14s %10s %8s %8s %8s\n",
+			"event class", "count", "cycles", "mean", "p50<=", "p99<=", "p999<=")
 		for _, name := range s.sortedHistNames() {
 			h := s.hist(name)
-			fmt.Fprintf(w, "%-20s %10d %14d %10.1f\n", name, h.Count, h.CostTotal, h.Mean())
+			ps := telemetry.Percentiles(h.Buckets[:], 0.50, 0.99, 0.999)
+			fmt.Fprintf(w, "%-20s %10d %14d %10.1f %8d %8d %8d\n",
+				name, h.Count, h.CostTotal, h.Mean(), ps[0], ps[1], ps[2])
 			writeBuckets(w, &h)
 		}
 

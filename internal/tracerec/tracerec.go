@@ -15,6 +15,7 @@ import (
 
 	"mmutricks/internal/hwmon"
 	"mmutricks/internal/mmtrace"
+	"mmutricks/internal/telemetry"
 )
 
 // FormatVersion stamps recordings so readers can reject files written
@@ -65,6 +66,88 @@ type Section struct {
 	Tasks []mmtrace.TaskStat `json:"tasks,omitempty"`
 	// Events is the ring contents, oldest first.
 	Events []Ev `json:"events"`
+	// Telemetry holds the phase-ledger capture when the recording was
+	// made with telemetry enabled (mmustat record); nil otherwise, and
+	// omitted from the JSON so plain mmutrace recordings are unchanged.
+	Telemetry *TelemetryData `json:"telemetry,omitempty"`
+}
+
+// TelemetryData is one section's serialized phase-ledger capture:
+// end-of-run phase totals, the deterministic interval samples, and the
+// per-task/per-mm cycle attribution. Phase and counter values are bare
+// arrays aligned with the stored name vectors, so the format survives
+// vocabulary growth on both axes.
+type TelemetryData struct {
+	// Interval is the sampler period in simulated cycles.
+	Interval uint64 `json:"interval"`
+	// PhaseNames names the indices of PhaseCycles, PhaseEnters, and
+	// every sample's Phases array.
+	PhaseNames  []string `json:"phase_names"`
+	PhaseCycles []uint64 `json:"phase_cycles"`
+	PhaseEnters []uint64 `json:"phase_enters"`
+	// CounterNames names the indices of every sample's Counters array.
+	CounterNames []string `json:"counter_names"`
+	// Samples is the interval timeline, oldest first; Dropped counts
+	// boundary crossings that arrived after the sample ring filled.
+	Samples []SampleData `json:"samples,omitempty"`
+	Dropped uint64       `json:"dropped"`
+	// Tasks and MMs are the per-task and per-address-space attributed
+	// cycles, in ID order.
+	Tasks []AttrData `json:"tasks,omitempty"`
+	MMs   []AttrData `json:"mms,omitempty"`
+}
+
+// SampleData is one serialized interval sample: cumulative state at
+// the first attribution point at or after Boundary.
+type SampleData struct {
+	Cycle    uint64   `json:"cycle"`
+	Boundary uint64   `json:"boundary"`
+	Task     uint32   `json:"task"`
+	MM       uint32   `json:"mm"`
+	Phases   []uint64 `json:"phases"`
+	Counters []uint64 `json:"counters"`
+}
+
+// AttrData is one per-task or per-mm attribution row.
+type AttrData struct {
+	ID     uint32 `json:"id"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// TelemetryFrom snapshots an enabled phase ledger into its serialized
+// form. The caller is expected to have stopped attributing (end of the
+// traced window); Sync folds the in-flight span remainder in first.
+func TelemetryFrom(p *telemetry.Phases) *TelemetryData {
+	p.Sync()
+	td := &TelemetryData{
+		Interval:     uint64(p.Interval()),
+		PhaseNames:   telemetry.PhaseNames(),
+		PhaseCycles:  make([]uint64, telemetry.NumPhases),
+		PhaseEnters:  make([]uint64, telemetry.NumPhases),
+		CounterNames: hwmon.CounterNames(),
+		Dropped:      p.Dropped(),
+	}
+	for _, ph := range telemetry.AllPhases {
+		td.PhaseCycles[ph] = uint64(p.Cycles(ph))
+		td.PhaseEnters[ph] = p.Enters(ph)
+	}
+	for _, s := range p.Samples() {
+		td.Samples = append(td.Samples, SampleData{
+			Cycle:    s.Cycle,
+			Boundary: s.Boundary,
+			Task:     s.Task,
+			MM:       s.MM,
+			Phases:   append([]uint64(nil), s.Phases[:]...),
+			Counters: s.Counters.Values(),
+		})
+	}
+	for _, row := range p.TaskAttribution() {
+		td.Tasks = append(td.Tasks, AttrData{ID: row.ID, Cycles: row.Cycles})
+	}
+	for _, row := range p.MMAttribution() {
+		td.MMs = append(td.MMs, AttrData{ID: row.ID, Cycles: row.Cycles})
+	}
+	return td
 }
 
 // Recording is a full capture: metadata plus one section per traced

@@ -11,6 +11,7 @@ import (
 	"mmutricks/internal/machine"
 	"mmutricks/internal/mmtrace"
 	"mmutricks/internal/report"
+	"mmutricks/internal/telemetry"
 	"mmutricks/internal/trace"
 )
 
@@ -27,6 +28,15 @@ type RecordOptions struct {
 	Iters int
 	// Capacity overrides the trace ring size (0 = default).
 	Capacity int
+	// Telemetry enables the phase ledger and interval sampler for each
+	// section (the mmustat recording mode).
+	Telemetry bool
+	// SampleInterval is the sampler period in simulated cycles
+	// (0 = telemetry.DefaultSampleInterval); SampleCapacity is the
+	// sample-ring size (0 = telemetry.DefaultSampleCapacity). Both are
+	// ignored unless Telemetry is set.
+	SampleInterval int
+	SampleCapacity int
 }
 
 // Record runs the selected workload with tracing enabled and returns
@@ -111,8 +121,16 @@ func Record(opts RecordOptions) (*Recording, error) {
 		m := machine.NewWithOptions(model, machine.Options{TraceCapacity: opts.Capacity})
 		// Enable before boot and snapshot at the same instant: the
 		// section's counter delta then covers exactly the traced
-		// window, so the histograms reconcile.
+		// window, so the histograms (and the phase-entry identities)
+		// reconcile.
 		m.Trc.Enable()
+		if opts.Telemetry {
+			iv := clock.Cycles(opts.SampleInterval)
+			if iv == 0 {
+				iv = telemetry.DefaultSampleInterval
+			}
+			m.Ph.Enable(telemetry.Options{SampleInterval: iv, SampleCapacity: opts.SampleCapacity})
+		}
 		before := m.Mon.Snapshot()
 		k := kernel.New(m, cfg)
 		runs[i].run(k)
@@ -121,6 +139,9 @@ func Record(opts RecordOptions) (*Recording, error) {
 			return
 		}
 		rec.Sections[i] = SectionFrom(runs[i].name, m.Trc, m.Mon.Delta(before))
+		if opts.Telemetry {
+			rec.Sections[i].Telemetry = TelemetryFrom(m.Ph)
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

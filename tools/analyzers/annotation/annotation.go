@@ -36,6 +36,11 @@
 //	    increment or trace emit whose partner lives in another function
 //	    (the reason must name the remote site). The reason is mandatory.
 //
+//	//mmutricks:phasebalance-ok <reason>  (trailing, same line)
+//	    Statement-level waiver for the phasebalance analyzer on a span
+//	    opener used outside the provable shapes (the reason must argue
+//	    why the exit still runs exactly once). The reason is mandatory.
+//
 //	//mmutricks:transitions-ok <reason>  (trailing the func line)
 //	    Waiver for the transitions analyzer on an exported kernel
 //	    function that mutates context-switch/MM state but is
@@ -104,7 +109,7 @@ func ParseDoc(doc *ast.CommentGroup) Set {
 				continue
 			}
 			s.Nocheck, s.NocheckReason = true, rest
-		case "noalloc-ok", "nondet-ok", "parity-ok":
+		case "noalloc-ok", "nondet-ok", "parity-ok", "phasebalance-ok":
 			s.Malformed = append(s.Malformed, c.Text+" ("+verb+" is a line waiver, not a declaration annotation)")
 		default:
 			s.Malformed = append(s.Malformed, c.Text+" (unknown directive)")

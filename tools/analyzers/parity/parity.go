@@ -105,6 +105,11 @@ var ExemptCounters = map[string]bool{
 	"Exits":             true,
 	"IdlePolls":         true,
 	"ClearedPageHits":   true,
+	// Phase-accounting anchors (PR 8): reconciled against telemetry
+	// phase-entry counts, not mmtrace events.
+	"KthreadMMSwitches": true,
+	"IdleWaits":         true,
+	"IdleScans":         true,
 }
 
 // ExemptKinds are event kinds with no dedicated counter (pure trace

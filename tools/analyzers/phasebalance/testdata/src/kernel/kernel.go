@@ -1,0 +1,91 @@
+// Package kernel is the phasebalance fixture: every balanced opener
+// shape the real kernel uses, plus the violations and waivers.
+package kernel
+
+import "mmutricks/internal/telemetry"
+
+type K struct {
+	Ph   *telemetry.Phases
+	hook func()
+}
+
+// span is an opener: it returns Span's result, so its own call sites
+// carry the balance obligation.
+func (k *K) span(ph telemetry.Phase) func() { return k.Ph.Span(ph) }
+
+// entry is an opener through the assigned-then-returned shape.
+func (k *K) entry() func() {
+	done := k.span(1)
+	return done
+}
+
+// deferred: the canonical shape.
+func (k *K) deferred() {
+	defer k.span(0)()
+}
+
+// immediate: a degenerate span, entered and exited in place.
+func (k *K) immediate() {
+	k.span(0)()
+}
+
+// viaEntry: the syscallEntry pattern two openers deep.
+func (k *K) viaEntry() {
+	defer k.entry()()
+}
+
+// localDefer: assignment consumed by a defer.
+func (k *K) localDefer() {
+	exit := k.span(0)
+	defer exit()
+}
+
+// localCall: assignment consumed by a direct call.
+func (k *K) localCall() {
+	exit := k.span(0)
+	k.work()
+	exit()
+}
+
+func (k *K) work() {}
+
+// leaked: the closure is dropped — the span can never exit.
+func (k *K) leaked() {
+	k.span(0) // want `span opener span used outside a balanced shape`
+}
+
+// deferredOpener: defers the opener itself, dropping the exit closure.
+func (k *K) deferredOpener() {
+	defer k.span(0) // want `span opener span used outside a balanced shape`
+}
+
+// stored: the closure escapes into a field; no syntactic balance.
+func (k *K) stored() {
+	k.hook = k.span(0) // want `span opener span used outside a balanced shape`
+}
+
+// passed: the closure escapes as an argument.
+func (k *K) passed() {
+	run(k.span(0)) // want `span opener span used outside a balanced shape`
+}
+
+func run(f func()) { f() }
+
+// halfUsed: one use is balanced, another branches on it.
+func (k *K) halfUsed() {
+	exit := k.span(0) // want `span opener span used outside a balanced shape`
+	if exit != nil {
+		exit()
+	}
+}
+
+// rawEnter and rawExit: the primitives are forbidden outside telemetry.
+func (k *K) rawEnter() {
+	k.Ph.Enter(0) // want `calls telemetry.Phases.Enter directly`
+	k.Ph.Exit()   // want `calls telemetry.Phases.Exit directly`
+}
+
+// waived: the waiver vouches for the unprovable shape.
+func (k *K) waived() {
+	k.hook = k.span(0) //mmutricks:phasebalance-ok exit invoked by the interrupt return path
+}

@@ -10,8 +10,8 @@
 //     experiment-registration hygiene.
 //   - Prove: whole-program proofs run by mmuprove — transitive noalloc
 //     over the call graph, determinism of byte-identical output
-//     packages, counter↔trace parity, and model↔kernel transition
-//     parity.
+//     packages, counter↔trace parity, model↔kernel transition
+//     parity, and telemetry phase-span balance.
 //   - Extra: registered and selectable via -run, but in no default set.
 //     The single-function noalloc pass lives here: noalloctrans
 //     subsumes it, and running both would double-report.
@@ -33,6 +33,7 @@ import (
 	"mmutricks/tools/analyzers/noalloc"
 	"mmutricks/tools/analyzers/noalloctrans"
 	"mmutricks/tools/analyzers/parity"
+	"mmutricks/tools/analyzers/phasebalance"
 	"mmutricks/tools/analyzers/registry"
 	"mmutricks/tools/analyzers/transitions"
 )
@@ -50,6 +51,7 @@ var Prove = []*analysis.Analyzer{
 	determinism.Analyzer,
 	parity.Analyzer,
 	transitions.Analyzer,
+	phasebalance.Analyzer,
 }
 
 // Extra holds analyzers in no default set, still selectable via -run.

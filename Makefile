@@ -1,7 +1,7 @@
 # The paper-reproduction simulator is pure Go; these targets wrap the
 # toolchain invocations the project treats as canonical.
 
-.PHONY: build test lint prove check model bench benchsmoke pgo report
+.PHONY: build test lint prove check model bench benchsmoke pgo report mmudsmoke
 
 build:
 	go build ./...
@@ -49,6 +49,12 @@ bench: build
 # buildable PGO profile. CI runs this; wall times are NOT compared.
 benchsmoke:
 	sh scripts/bench_smoke.sh
+
+# mmudsmoke drives the mmud daemon end to end over HTTP: cache-hit
+# byte-identity, a chaos audit, SIGTERM drain, and journal replay.
+# CI runs this and uploads the journal as an artifact.
+mmudsmoke:
+	sh scripts/mmud_smoke.sh
 
 # pgo regenerates cmd/mmureport/default.pgo — the profile `go build`
 # applies automatically when compiling the harness — from two merged

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 
 	report.SetParallelism(*j)
 	fmt.Printf("interaction analysis: kernel compile on %s (%d units)\n\n", model.Name, *units)
-	fmt.Print(ablate.RunWith(metric, ablate.Knobs(), report.RowSet).String())
+	fmt.Print(ablate.RunWith(metric, ablate.Knobs(), func(n int, fn func(int)) { report.RowSet(context.Background(), n, fn) }).String())
 	fmt.Println("\nA knob with a big solo gain and a small marginal gain has been")
 	fmt.Println("subsumed by the rest of the stack — §5.1's \"nearly all the measured")
 	fmt.Println("performance improvements ... evaporated when TLB miss handling was")

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,7 +74,7 @@ func main() {
 	results := make([]lmbench.Result, len(benchmarks))
 	mons := make([]hwmon.Counters, len(benchmarks)+1)
 	var memrd64k, memrd2m float64
-	report.RowSet(len(benchmarks)+1, func(i int) {
+	report.RowSet(context.Background(), len(benchmarks)+1, func(i int) {
 		k := kernel.New(machine.New(model), cfg)
 		s := lmbench.New(k)
 		if i < len(benchmarks) {

@@ -8,12 +8,15 @@
 //
 // Each workload section runs on a fresh machine with its own seeded
 // injector, so the JSON report is byte-identical for a given schedule
-// at any -j. The exit status is nonzero if any section's audit failed:
-// an injected fault not repaired (or not escalated), a dirty post-run
-// consistency sweep, or a trace/counter reconciliation mismatch.
+// at any -j. The exit status separates the failure classes
+// (internal/exitcode): 5 if any section's audit failed — an injected
+// fault not repaired (or not escalated), a dirty post-run consistency
+// sweep, or a trace/counter reconciliation mismatch — and 1 when the
+// harness itself could not run (bad options, I/O errors).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +24,7 @@ import (
 	"runtime"
 
 	"mmutricks/internal/chaos"
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/report"
 )
 
@@ -37,7 +41,7 @@ func main() {
 	flag.Parse()
 	report.SetParallelism(*j)
 
-	rep, err := chaos.Run(chaos.Options{
+	rep, err := chaos.Run(context.Background(), chaos.Options{
 		Workload: *workload,
 		CPU:      *cpu,
 		Config:   *cfg,
@@ -74,11 +78,11 @@ func main() {
 	}
 	if !rep.OK {
 		fmt.Fprintln(os.Stderr, "mmuchaos: audit FAILED")
-		os.Exit(1)
+		os.Exit(exitcode.AuditFailure)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mmuchaos: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitcode.Internal)
 }

@@ -1,0 +1,125 @@
+// Command mmud serves the experiment harness as a crash-tolerant
+// daemon: clients POST experiment/trace/chaos job specs, the daemon
+// runs them on the shared worker pool under per-job cycle budgets and
+// wall-clock timeouts, retries panicking attempts with seeded
+// decorrelated-jitter backoff, and serves every result from a
+// content-addressed cache so a repeated job returns byte-identical
+// bytes without re-running.
+//
+// Usage:
+//
+//	mmud -addr :8344 -journal mmud.journal
+//
+// SIGTERM (or SIGINT, or POST /drain) drains gracefully: admission
+// closes, in-flight jobs finish (or are budget-killed at the drain
+// deadline), and still-queued jobs remain in the journal, which the
+// next start replays in submission order. A job failure never exits
+// the daemon; mmud exits nonzero only when it cannot serve at all
+// (bad flags, bind failure, unreadable journal).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/exitcode"
+	"mmutricks/internal/mmud"
+	"mmutricks/internal/report"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address")
+		journal      = flag.String("journal", "", "crash journal path (empty = no journal; submissions die with the process)")
+		workers      = flag.Int("workers", 0, "job workers (0 = GOMAXPROCS, negative = admission-only: queue but never run)")
+		j            = flag.Int("j", runtime.GOMAXPROCS(0), "harness worker-pool size shared by running jobs")
+		queue        = flag.Int("queue", 64, "admission queue depth (submissions beyond it get 429)")
+		perClient    = flag.Int("client-inflight", 8, "per-client queued+running cap (beyond it 429)")
+		attempts     = flag.Int("attempts", 3, "max attempts per job (panicking attempts retry with seeded backoff)")
+		backoffBase  = flag.Duration("backoff-base", 50*time.Millisecond, "retry backoff lower bound")
+		backoffCap   = flag.Duration("backoff-cap", 2*time.Second, "retry backoff upper bound")
+		budget       = flag.Uint64("budget", 1<<40, "default per-attempt simulated-cycle budget")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-attempt wall-clock timeout")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "mmud: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		return exitcode.Usage
+	}
+	logger := log.New(os.Stderr, "mmud: ", log.LstdFlags)
+	report.SetParallelism(*j)
+
+	srv, err := mmud.New(mmud.Config{
+		QueueDepth:     *queue,
+		ClientInflight: *perClient,
+		Workers:        *workers,
+		MaxAttempts:    *attempts,
+		BackoffBase:    *backoffBase,
+		BackoffCap:     *backoffCap,
+		BudgetCycles:   clock.Cycles(*budget),
+		WallTimeout:    *timeout,
+		DrainTimeout:   *drainTimeout,
+		JournalPath:    *journal,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Printf("startup: %v", err)
+		return exitcode.Internal
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return exitcode.Internal
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Printf("serving on %s (workers=%d journal=%q)", ln.Addr(), *workers, *journal)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go serve(hs, ln, errCh)
+
+	select {
+	case err := <-errCh:
+		logger.Printf("serve: %v", err)
+		return exitcode.Internal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second SIGTERM kills hard
+
+	// Drain order: close admission and settle jobs first, then stop
+	// the HTTP server so status endpoints answer throughout the drain.
+	clean := srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("exit (clean drain=%v)", clean)
+	// A drain that had to budget-kill jobs is still a successful
+	// daemon exit: the journal holds the unfinished work.
+	return exitcode.OK
+}
+
+// serve runs the HTTP server, forwarding its terminal error.
+func serve(hs *http.Server, ln net.Listener, errCh chan<- error) {
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		errCh <- err
+	}
+}

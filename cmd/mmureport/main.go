@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -28,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/report"
 )
 
@@ -58,7 +60,7 @@ func run() int {
 
 	if *quick && *full {
 		fmt.Fprintln(os.Stderr, "mmureport: -quick and -full are mutually exclusive")
-		return 2
+		return exitcode.Usage
 	}
 	scale := report.Quick
 	if *full {
@@ -95,27 +97,33 @@ func run() int {
 		e, ok := report.Find(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "mmureport: unknown experiment %q (try -list)\n", *exp)
-			return 1
+			return exitcode.Usage
 		}
-		fmt.Println(e.Run(scale).Render())
+		r := report.RunOne(context.Background(), e, scale)
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
+		}
+		fmt.Println(r.Table.Render())
+		return exitcode.ForFailReasons([]string{r.FailReason})
 	case *all:
-		failed := 0
-		for _, r := range report.RunAll(scale, *j) {
+		var reasons []string
+		for _, r := range report.RunAll(context.Background(), scale, *j) {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "mmureport: %v\n", r.Err)
-				failed++
+				reasons = append(reasons, r.FailReason)
 			}
 			// Panicked experiments still render — as a one-cell
 			// FAILED(<reason>) grid — so the output keeps every registry
-			// entry in order even when one degrades.
+			// entry in order even when one degrades. The exit code
+			// separates the failure classes: FAILED(panic) exits 4,
+			// FAILED(cycle-budget) exits 3 (panic dominates when both
+			// appear), anything else nonzero exits 1.
 			fmt.Println(r.Table.Render())
 		}
-		if failed > 0 {
-			return 1
-		}
+		return exitcode.ForFailReasons(reasons)
 	default:
 		flag.Usage()
-		return 2
+		return exitcode.Usage
 	}
 	return 0
 }
@@ -185,11 +193,11 @@ func benchHarness(path string, scale report.Scale, j int) int {
 	}
 
 	seqStart := time.Now()
-	seq := report.RunAll(scale, 1)
+	seq := report.RunAll(context.Background(), scale, 1)
 	seqWall := time.Since(seqStart)
 
 	parStart := time.Now()
-	par := report.RunAll(scale, j)
+	par := report.RunAll(context.Background(), scale, j)
 	parWall := time.Since(parStart)
 
 	doc := benchDoc{

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +64,7 @@ func cmdRecord(args []string) {
 	fs.Parse(args)
 	report.SetParallelism(*j)
 
-	rec, err := tracerec.Record(tracerec.RecordOptions{
+	rec, err := tracerec.Record(context.Background(), tracerec.RecordOptions{
 		Workload: *workload,
 		CPU:      *cpu,
 		Config:   *cfg,

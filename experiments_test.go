@@ -5,6 +5,7 @@
 package mmutricks_test
 
 import (
+	"context"
 	"testing"
 
 	"mmutricks/internal/ablate"
@@ -30,7 +31,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range report.All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb := e.Run(report.Quick)
+			tb := e.Run(context.Background(), report.Quick)
 			if len(tb.Rows) == 0 {
 				t.Fatalf("%s produced no rows", e.ID)
 			}

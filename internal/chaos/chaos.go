@@ -21,6 +21,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/arch"
@@ -107,8 +108,11 @@ type sectionRun struct {
 
 // Run executes the soak and returns the report. An error means the
 // harness itself could not run (bad options); audit failures are
-// reported per section with Report.OK false.
-func Run(opts Options) (*Report, error) {
+// reported per section with Report.OK false. Cancelling ctx stops
+// starting new sections (cooperative, section granularity); a
+// cancelled run panics workpool.Canceled through RowSet, which the
+// caller's containment (report.RunOne, the mmud daemon) classifies.
+func Run(ctx context.Context, opts Options) (*Report, error) {
 	model, ok := clock.ModelByName(opts.CPU)
 	if !ok {
 		return nil, fmt.Errorf("chaos: unknown cpu %q", opts.CPU)
@@ -140,7 +144,7 @@ func Run(opts Options) (*Report, error) {
 		OK:       true,
 		Sections: make([]SectionResult, len(runs)),
 	}
-	workpool.RowSet(len(runs), func(i int) {
+	workpool.RowSet(ctx, len(runs), func(i int) {
 		rep.Sections[i] = runSection(model, cfg, base, uint64(i), runs[i])
 	})
 	for i := range rep.Sections {

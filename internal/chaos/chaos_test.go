@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -35,12 +36,12 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	defer workpool.SetParallelism(old)
 
 	workpool.SetParallelism(1)
-	seq, err := Run(opts)
+	seq, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Run(-j1): %v", err)
 	}
 	workpool.SetParallelism(8)
-	par, err := Run(opts)
+	par, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Run(-j8): %v", err)
 	}
@@ -71,7 +72,7 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 // workload hard enough that page-table poison actually lands, and
 // checks the kills are accounted as escalations with a clean audit.
 func TestEscalateSectionKillsAndRecovers(t *testing.T) {
-	rep, err := Run(Options{
+	rep, err := Run(context.Background(), Options{
 		Workload: "escalate",
 		CPU:      "604/185",
 		Config:   "optimized",
@@ -100,7 +101,7 @@ func TestEscalateSectionKillsAndRecovers(t *testing.T) {
 // plain workload section zeroes the pte-flip weight, so even a
 // pte-flip-heavy schedule produces no escalations there.
 func TestNonEscalateSectionsDropPTEFlips(t *testing.T) {
-	rep, err := Run(Options{
+	rep, err := Run(context.Background(), Options{
 		Workload: "lmbench",
 		CPU:      "604/185",
 		Config:   "optimized",
@@ -140,7 +141,7 @@ func TestRunRejectsBadOptions(t *testing.T) {
 		{"schedule", Options{Workload: "lmbench", CPU: "604/185", Config: "optimized", Schedule: "seed=1 rate=2000000"}},
 	}
 	for _, tc := range cases {
-		if _, err := Run(tc.opts); err == nil {
+		if _, err := Run(context.Background(), tc.opts); err == nil {
 			t.Errorf("%s: bad option accepted", tc.name)
 		}
 	}

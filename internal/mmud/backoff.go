@@ -1,0 +1,41 @@
+package mmud
+
+import (
+	"time"
+
+	"mmutricks/internal/faultinject"
+)
+
+// backoffSchedule returns the sleep before each retry (sleeps entries,
+// one per retry) as decorrelated jitter: each sleep is drawn from
+// [base, prev*3] and clamped to cap, with the draws taken from the
+// job-seeded faultinject.DeriveSeed stream. The schedule is therefore
+// a pure function of (seed, sleeps, base, cap) — deterministic across
+// runs and replay, bounded above by cap — while still spreading
+// synchronized retries apart like randomized jitter would.
+func backoffSchedule(seed uint64, sleeps int, base, cap time.Duration) []time.Duration {
+	if sleeps <= 0 {
+		return nil
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	out := make([]time.Duration, sleeps)
+	prev := base
+	for i := range out {
+		span := 3*prev - base
+		if span < 1 {
+			span = 1
+		}
+		d := base + time.Duration(faultinject.DeriveSeed(seed, uint64(i+1))%uint64(span))
+		if d > cap {
+			d = cap
+		}
+		out[i] = d
+		prev = d
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package mmud
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleDeterministic pins the retry backoff contract:
+// the schedule is a pure function of the seed, every sleep lies in
+// [base, cap], and distinct seeds decorrelate.
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	const base, cap = 50 * time.Millisecond, 2 * time.Second
+	cases := []struct {
+		name   string
+		seed   uint64
+		sleeps int
+	}{
+		{"seed0", 0, 8},
+		{"seed42", 42, 8},
+		{"seed-big", 0xdeadbeefcafe, 5},
+		{"one-sleep", 7, 1},
+	}
+	for _, tc := range cases {
+		a := backoffSchedule(tc.seed, tc.sleeps, base, cap)
+		b := backoffSchedule(tc.seed, tc.sleeps, base, cap)
+		if len(a) != tc.sleeps {
+			t.Fatalf("%s: got %d sleeps, want %d", tc.name, len(a), tc.sleeps)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: sleep %d not deterministic: %v vs %v", tc.name, i, a[i], b[i])
+			}
+			if a[i] < base || a[i] > cap {
+				t.Errorf("%s: sleep %d = %v outside [%v, %v]", tc.name, i, a[i], base, cap)
+			}
+		}
+	}
+	// Decorrelation: seeds 0 and 42 should not produce the same
+	// schedule (the draws come from independent DeriveSeed streams).
+	a := backoffSchedule(0, 8, base, cap)
+	b := backoffSchedule(42, 8, base, cap)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 0 and 42 produced identical schedules")
+	}
+}
+
+// TestBackoffScheduleEdgeCases covers degenerate parameters: no
+// sleeps, zero base, cap below base.
+func TestBackoffScheduleEdgeCases(t *testing.T) {
+	if got := backoffSchedule(1, 0, time.Second, time.Second); got != nil {
+		t.Errorf("0 sleeps: got %v, want nil", got)
+	}
+	for _, d := range backoffSchedule(1, 4, 0, 0) {
+		if d < time.Millisecond {
+			t.Errorf("zero base: sleep %v below the 1ms floor", d)
+		}
+		if d > time.Millisecond {
+			t.Errorf("cap below base: sleep %v above the clamped cap", d)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package mmud
+
+import (
+	"sync"
+
+	"mmutricks/internal/clock"
+)
+
+// budgetGuard maps per-job cycle budgets onto the process-wide ledger
+// default (clock.SetDefaultBudget): while any attempts are active the
+// default is the minimum of their budgets, and when the last one
+// releases the previous default is restored.
+//
+// Ledgers capture the default at creation, so the mapping is
+// conservative, never loose: an attempt's ledgers get at most its own
+// budget, and possibly less while a tighter-budgeted job overlaps. A
+// tighter-than-requested trip still classifies as cycle-budget and is
+// honest — the job exceeded a budget the operator configured. Exact
+// per-job attribution would need ledger tagging; the daemon prefers
+// the invariant "no attempt ever runs looser than its budget".
+type budgetGuard struct {
+	mu     sync.Mutex
+	active map[uint64]clock.Cycles
+	next   uint64
+	saved  clock.Cycles
+}
+
+func newBudgetGuard() *budgetGuard {
+	return &budgetGuard{active: map[uint64]clock.Cycles{}}
+}
+
+// acquire registers an attempt's budget (must be > 0) and installs the
+// new minimum as the ledger default. The returned release must be
+// called when the attempt ends.
+func (g *budgetGuard) acquire(budget clock.Cycles) (release func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.active) == 0 {
+		g.saved = clock.SetDefaultBudget(budget)
+	} else {
+		clock.SetDefaultBudget(g.min(budget))
+	}
+	tok := g.next
+	g.next++
+	g.active[tok] = budget
+	return func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		delete(g.active, tok)
+		if len(g.active) == 0 {
+			clock.SetDefaultBudget(g.saved)
+		} else {
+			clock.SetDefaultBudget(g.min(0))
+		}
+	}
+}
+
+// min returns the smallest active budget, also considering extra when
+// it is nonzero. Callers hold g.mu.
+func (g *budgetGuard) min(extra clock.Cycles) clock.Cycles {
+	m := extra
+	for _, b := range g.active { //mmutricks:nondet-ok min over a set is order-independent
+		if m == 0 || b < m {
+			m = b
+		}
+	}
+	return m
+}

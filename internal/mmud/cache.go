@@ -1,0 +1,47 @@
+package mmud
+
+import "sync"
+
+// resultCache is the content-addressed store of successful result
+// bodies, keyed by Spec.CacheKey. Only successes are cached: the
+// runners are deterministic, so a success's bytes are THE answer for
+// that key, while a failure may be environmental (budget, timeout,
+// drain) and deserves a fresh run. The cache is in-memory only — a
+// restart recomputes, which the determinism contract makes safe.
+type resultCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	hits uint64
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{m: map[string][]byte{}}
+}
+
+// get returns the cached body for key, if any, counting the hit.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return body, ok
+}
+
+// put stores a successful result body. First write wins: a concurrent
+// duplicate computed the same bytes anyway.
+func (c *resultCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok {
+		c.m[key] = body
+	}
+}
+
+// stats returns (entries, hits).
+func (c *resultCache) stats() (int, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), c.hits
+}

@@ -1,0 +1,188 @@
+// Package mmud is the crash-tolerant experiment service: an HTTP+JSON
+// daemon that accepts experiment, trace, and chaos jobs and runs them
+// on the shared harness worker pool (internal/workpool) with the same
+// determinism contract as the CLIs — a job's result body is
+// byte-identical no matter when it runs, how many workers the daemon
+// has, or how many times a panicking attempt was retried first.
+//
+// The service layers five robustness mechanisms over the runners:
+//
+//   - admission control: a bounded queue and a per-client in-flight
+//     cap, both rejected with 429 so a misbehaving client degrades to
+//     backpressure instead of memory growth;
+//   - budgets: every attempt runs under a per-job simulated-cycle
+//     budget (clock ledger watchdog) and a wall-clock timeout, so a
+//     wedged experiment degrades to FAILED(cycle-budget|timeout)
+//     instead of wedging a worker forever;
+//   - retries: attempts that die by panic are retried up to a cap
+//     with seeded decorrelated-jitter backoff, deterministic per job;
+//   - crash isolation: a panicking job is contained by the same
+//     recover/classify machinery as report.RunOne — the daemon never
+//     exits because a job failed;
+//   - graceful drain: SIGTERM stops admission, lets in-flight jobs
+//     finish (budget-killing them at the drain deadline), and leaves
+//     everything else in a crash-safe JSONL journal that the next
+//     start replays, requeueing exactly the jobs that never finished.
+package mmud
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"mmutricks/internal/report"
+)
+
+// Spec is the client-submitted description of one job. Kind selects
+// the runner; the remaining fields parameterize it, mirroring the
+// corresponding CLI flags (mmureport, mmutrace, mmuchaos).
+type Spec struct {
+	// Kind is "experiment", "trace", or "chaos" (plus any extra kinds
+	// the embedding process registered via Config.Runners).
+	Kind string `json:"kind"`
+	// Experiment is the registry ID for kind "experiment".
+	Experiment string `json:"experiment,omitempty"`
+	// Scale is "quick" (default) or "full" for kind "experiment".
+	Scale string `json:"scale,omitempty"`
+	// Workload, CPU, Config, Iters parameterize "trace" and "chaos"
+	// exactly like the mmutrace/mmuchaos flags.
+	Workload string `json:"workload,omitempty"`
+	CPU      string `json:"cpu,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Iters    int    `json:"iters,omitempty"`
+	// Schedule is the fault schedule for kind "chaos".
+	Schedule string `json:"schedule,omitempty"`
+	// Seed seeds the retry-backoff jitter stream (and nothing else:
+	// the runners take their seeds from Schedule or their options).
+	Seed uint64 `json:"seed,omitempty"`
+	// BudgetCycles caps the simulated cycles any single ledger may
+	// charge during one attempt (0 = the server default). The cap is
+	// conservative: a concurrent job with a smaller budget may tighten
+	// it further, never loosen it.
+	BudgetCycles uint64 `json:"budget_cycles,omitempty"`
+	// TimeoutMS is the per-attempt wall-clock timeout (0 = server
+	// default). Excluded from the cache key: how long a client is
+	// willing to wait does not change the deterministic result.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Client names the submitter for the per-client in-flight cap.
+	// Excluded from the cache key.
+	Client string `json:"client,omitempty"`
+}
+
+// builtinKinds are the runners compiled into the daemon.
+var builtinKinds = map[string]bool{
+	"experiment": true,
+	"trace":      true,
+	"chaos":      true,
+}
+
+// normalize fills kind-specific defaults so equivalent submissions
+// canonicalize to the same cache key.
+func (sp *Spec) normalize() {
+	switch sp.Kind {
+	case "experiment":
+		if sp.Scale == "" {
+			sp.Scale = "quick"
+		}
+	case "trace", "chaos":
+		if sp.Workload == "" {
+			sp.Workload = "lmbench"
+		}
+		if sp.CPU == "" {
+			sp.CPU = "604/185"
+		}
+		if sp.Config == "" {
+			sp.Config = "optimized"
+		}
+		if sp.Iters <= 0 {
+			sp.Iters = 100
+		}
+		if sp.Kind == "chaos" && sp.Schedule == "" {
+			sp.Schedule = "seed=42 rate=500ppm burst=1 mix=all"
+		}
+	}
+}
+
+// validate rejects specs the admission path can prove malformed. It
+// deliberately stops short of re-implementing the engines' own option
+// validation (bad CPU names and the like fail the job with reason
+// "config" instead).
+func (sp *Spec) validate(extra map[string]Runner) error {
+	if !builtinKinds[sp.Kind] {
+		if _, ok := extra[sp.Kind]; !ok {
+			return fmt.Errorf("unknown kind %q (want experiment, trace, or chaos)", sp.Kind)
+		}
+	}
+	if sp.Kind == "experiment" {
+		if sp.Experiment == "" {
+			return fmt.Errorf("kind experiment requires an experiment ID")
+		}
+		if _, ok := report.Find(sp.Experiment); !ok {
+			return fmt.Errorf("unknown experiment %q", sp.Experiment)
+		}
+		if sp.Scale != "quick" && sp.Scale != "full" {
+			return fmt.Errorf("unknown scale %q (want quick or full)", sp.Scale)
+		}
+	}
+	return nil
+}
+
+// scale maps the spec's scale name onto the report type.
+func (sp *Spec) scale() report.Scale {
+	if sp.Scale == "full" {
+		return report.Full
+	}
+	return report.Quick
+}
+
+// CacheKey is the content address of the spec's deterministic result:
+// a sha256 over the canonical JSON of the normalized spec with the
+// non-semantic fields (Client, TimeoutMS) zeroed. Two submissions with
+// the same key are the same computation, so the second is served the
+// first's bytes.
+func (sp Spec) CacheKey() string {
+	sp.Client = ""
+	sp.TimeoutMS = 0
+	data, err := json.Marshal(sp)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("mmud: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is the daemon's record of one submission. All fields are
+// guarded by the server mutex; handlers marshal a copy.
+type Job struct {
+	ID   string `json:"id"`
+	Seq  uint64 `json:"seq"`
+	Spec Spec   `json:"spec"`
+	// State is queued, running, done, or failed.
+	State string `json:"state"`
+	// Attempts counts started attempts (a cache hit is zero attempts).
+	Attempts int `json:"attempts"`
+	// FailReason classifies a failed job: "panic", "cycle-budget",
+	// "canceled", "timeout", "audit", or "config".
+	FailReason string `json:"fail_reason,omitempty"`
+	// Error is the final attempt's error text (failed jobs only).
+	Error string `json:"error,omitempty"`
+	// CacheKey is the spec's content address; CacheHit marks a job
+	// served from a previous run's bytes without executing.
+	CacheKey string `json:"cache_key"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// SimCycles is the simulated work the job's attempts charged
+	// (meter delta; exact only when one job runs at a time).
+	SimCycles uint64 `json:"sim_cycles"`
+
+	result []byte
+}

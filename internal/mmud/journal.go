@@ -1,0 +1,181 @@
+package mmud
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The journal is the daemon's crash-tolerance spine: one JSONL record
+// per job-lifecycle event, appended and fsynced before the event takes
+// effect anywhere a client could observe it. Replay is a pure fold
+// over the records — a job whose submit has no finish was lost
+// mid-flight (crash, hard kill, or drained while queued) and is
+// requeued in seq order, so a restarted daemon picks up exactly the
+// work the previous process accepted but never completed.
+//
+// Crash tolerance at the byte level: a torn final line (the process
+// died mid-append) is detected and dropped; a corrupt interior line is
+// an error, because it means something other than a crash wrote the
+// file.
+
+// Journal event names.
+const (
+	evSubmit = "submit"
+	evStart  = "start"
+	evRetry  = "retry"
+	evFinish = "finish"
+)
+
+// journalRecord is one JSONL line.
+type journalRecord struct {
+	Seq   uint64 `json:"seq"`
+	Event string `json:"event"`
+	ID    string `json:"id"`
+	// Spec rides on submit records only — replay rebuilds the job
+	// from it.
+	Spec *Spec `json:"spec,omitempty"`
+	// Attempt rides on start/retry records.
+	Attempt int `json:"attempt,omitempty"`
+	// State ("done"/"failed") and Reason ride on finish records.
+	State  string `json:"state,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// CacheHit marks a finish served from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// Journal appends job-lifecycle records to a JSONL file, fsyncing
+// each so an acknowledged submit survives a crash.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// ReplayedJob is a submitted-but-never-finished job recovered from
+// the journal, in submission (seq) order.
+type ReplayedJob struct {
+	Seq  uint64
+	ID   string
+	Spec Spec
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// its records, and returns the journal positioned for appending, the
+// jobs to requeue, and the next free seq number.
+func OpenJournal(path string) (*Journal, []ReplayedJob, uint64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	replayed, nextSeq, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("mmud: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return &Journal{f: f}, replayed, nextSeq, nil
+}
+
+// replay folds the journal into the set of unfinished jobs. The final
+// line may be torn (no trailing newline, or truncated JSON): that is
+// the signature of dying mid-append and the line is dropped. A
+// malformed interior line is corruption and fails the replay.
+func replay(r io.Reader) ([]ReplayedJob, uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	type lineRec struct {
+		rec  journalRecord
+		err  error
+		line int
+	}
+	var lines []lineRec
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRecord
+		err := json.Unmarshal(raw, &rec)
+		lines = append(lines, lineRec{rec: rec, err: err, line: n})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	submitted := map[uint64]*ReplayedJob{}
+	var nextSeq uint64 = 1
+	for i, l := range lines {
+		if l.err != nil {
+			if i == len(lines)-1 {
+				break // torn final line: the crash we exist to tolerate
+			}
+			return nil, 0, fmt.Errorf("corrupt record on line %d: %v", l.line, l.err)
+		}
+		rec := l.rec
+		if rec.Seq >= nextSeq {
+			nextSeq = rec.Seq + 1
+		}
+		switch rec.Event {
+		case evSubmit:
+			if rec.Spec == nil {
+				return nil, 0, fmt.Errorf("submit record on line %d has no spec", l.line)
+			}
+			submitted[rec.Seq] = &ReplayedJob{Seq: rec.Seq, ID: rec.ID, Spec: *rec.Spec}
+		case evFinish:
+			delete(submitted, rec.Seq)
+		case evStart, evRetry:
+			// Attempt markers carry no replay state: an attempt that
+			// started but never finished is still unfinished work.
+		default:
+			return nil, 0, fmt.Errorf("unknown event %q on line %d", rec.Event, l.line)
+		}
+	}
+	out := make([]ReplayedJob, 0, len(submitted))
+	for _, j := range submitted { //mmutricks:nondet-ok order restored by the seq sort below
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nextSeq, nil
+}
+
+// append writes one record and fsyncs. The caller must not expose the
+// event's effect (e.g. acknowledge a submit) until append returns.
+func (j *Journal) append(rec journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

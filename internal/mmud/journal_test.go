@@ -1,0 +1,159 @@
+package mmud
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalReplayRequeuesUnfinished is the crash-recovery fold: a
+// journal holding submits with and without finishes replays exactly
+// the unfinished jobs, in seq order, with the next seq continuing
+// past everything seen.
+func TestJournalReplayRequeuesUnfinished(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, replayed, nextSeq, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 || nextSeq != 1 {
+		t.Fatalf("fresh journal: replayed=%d nextSeq=%d", len(replayed), nextSeq)
+	}
+	specA := Spec{Kind: "experiment", Experiment: "figure1", Scale: "quick"}
+	specB := Spec{Kind: "chaos", Workload: "escalate", CPU: "604/185", Config: "optimized", Iters: 9, Schedule: "seed=7"}
+	recs := []journalRecord{
+		{Seq: 1, Event: evSubmit, ID: "j-000001", Spec: &specA},
+		{Seq: 2, Event: evSubmit, ID: "j-000002", Spec: &specB},
+		{Seq: 1, Event: evStart, ID: "j-000001", Attempt: 1},
+		{Seq: 1, Event: evFinish, ID: "j-000001", State: StateDone},
+		{Seq: 3, Event: evSubmit, ID: "j-000003", Spec: &specA},
+		{Seq: 2, Event: evStart, ID: "j-000002", Attempt: 1},
+		{Seq: 2, Event: evRetry, ID: "j-000002", Attempt: 2},
+	}
+	for _, r := range recs {
+		if err := j.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the process "crashed" with the file fsynced per record.
+
+	_, replayed, nextSeq, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextSeq != 4 {
+		t.Errorf("nextSeq = %d, want 4", nextSeq)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2 (seq 2 mid-retry, seq 3 never started)", len(replayed))
+	}
+	if replayed[0].Seq != 2 || replayed[0].ID != "j-000002" || replayed[0].Spec != specB {
+		t.Errorf("replayed[0] = %+v, want seq 2 with the chaos spec", replayed[0])
+	}
+	if replayed[1].Seq != 3 || replayed[1].Spec != specA {
+		t.Errorf("replayed[1] = %+v, want seq 3 with the experiment spec", replayed[1])
+	}
+}
+
+// TestJournalTornFinalLine: dying mid-append leaves a truncated last
+// line; replay drops it and recovers everything before it. The same
+// corruption anywhere else is an error.
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, _, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "experiment", Experiment: "figure1", Scale: "quick"}
+	if err := j.append(journalRecord{Seq: 1, Event: evSubmit, ID: "j-000001", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":2,"event":"submit","id":"j-0000`) // torn mid-record
+	f.Close()
+
+	_, replayed, nextSeq, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line should replay cleanly: %v", err)
+	}
+	if len(replayed) != 1 || replayed[0].Seq != 1 {
+		t.Fatalf("replayed %+v, want just seq 1", replayed)
+	}
+	if nextSeq != 2 {
+		t.Errorf("nextSeq = %d, want 2 (the torn record never happened)", nextSeq)
+	}
+
+	// Now make the torn line interior: append a valid record after it.
+	f, _ = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("\n" + `{"seq":3,"event":"submit","id":"j-000003","spec":{"kind":"experiment","experiment":"figure1","scale":"quick"}}` + "\n")
+	f.Close()
+	if _, _, _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("interior corruption should fail replay, got %v", err)
+	}
+}
+
+// TestJournalCrashReplayByteIdenticalQueue drives the recovery path
+// through the server: submit jobs to an admission-only daemon, crash
+// it (no drain), restart on the same journal, and require the
+// replayed queue to match the original submissions byte for byte
+// (IDs, seqs, canonical spec JSON, cache keys).
+func TestJournalCrashReplayByteIdenticalQueue(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s1, err := New(Config{Workers: -1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{Kind: "experiment", Experiment: "figure1", Client: "alice"},
+		{Kind: "trace", Workload: "lmbench", Iters: 5, Client: "bob"},
+		{Kind: "chaos", Workload: "escalate", Iters: 9, Seed: 3, Client: "alice"},
+	}
+	var submitted []Job
+	for _, sp := range specs {
+		job, err := s1.Submit(sp)
+		if err != nil {
+			t.Fatalf("submit %+v: %v", sp, err)
+		}
+		submitted = append(submitted, job)
+	}
+	// Crash: the server is dropped without Drain, so the journal holds
+	// three submits and no finishes.
+
+	s2, err := New(Config{Workers: -1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	st := s2.Stats()
+	if st.Replayed != 3 || st.QueueDepth != 3 {
+		t.Fatalf("replayed=%d queue=%d, want 3/3", st.Replayed, st.QueueDepth)
+	}
+	for _, want := range submitted {
+		got, ok := s2.Job(want.ID)
+		if !ok {
+			t.Fatalf("job %s lost across the crash", want.ID)
+		}
+		if got.Seq != want.Seq || got.State != StateQueued {
+			t.Errorf("job %s: seq=%d state=%s, want seq=%d queued", want.ID, got.Seq, got.State, want.Seq)
+		}
+		if got.Spec != want.Spec {
+			t.Errorf("job %s spec changed across replay:\n got %+v\nwant %+v", want.ID, got.Spec, want.Spec)
+		}
+		if got.CacheKey != want.CacheKey {
+			t.Errorf("job %s cache key changed across replay: %s vs %s", want.ID, got.CacheKey, want.CacheKey)
+		}
+	}
+	// New submissions continue the seq space past the replayed jobs.
+	job, err := s2.Submit(Spec{Kind: "experiment", Experiment: "table1", Client: "carol"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Seq != 4 || job.ID != "j-000004" {
+		t.Errorf("post-replay submission got seq %d id %s, want 4 / j-000004", job.Seq, job.ID)
+	}
+}

@@ -1,0 +1,143 @@
+package mmud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"mmutricks/internal/chaos"
+	"mmutricks/internal/report"
+	"mmutricks/internal/tracerec"
+)
+
+// Runner executes one job kind and returns the deterministic result
+// body. A Runner may panic (budget trips, cancellation, and bugs all
+// arrive as panics); the attempt wrapper contains and classifies it.
+// An error return fails the job without retry; wrap it in a
+// ReasonError to pick the failure class.
+type Runner func(ctx context.Context, spec Spec) ([]byte, error)
+
+// ReasonError attaches a failure class ("audit", "config", ...) to a
+// runner error so the job record and /statsz can distinguish a chaos
+// audit failure from a bad option from an engine bug.
+type ReasonError struct {
+	Reason string
+	Err    error
+}
+
+func (e *ReasonError) Error() string { return fmt.Sprintf("%s: %v", e.Reason, e.Err) }
+func (e *ReasonError) Unwrap() error { return e.Err }
+
+// runner resolves the spec's kind to its Runner.
+func (s *Server) runner(kind string) Runner {
+	if r, ok := s.cfg.Runners[kind]; ok {
+		return r
+	}
+	switch kind {
+	case "experiment":
+		return runExperiment
+	case "trace":
+		return runTrace
+	case "chaos":
+		return runChaos
+	}
+	return nil
+}
+
+// runExperiment renders one registry experiment, exactly the bytes
+// `mmureport -experiment` prints. RunOne already contains panics into
+// a classified RunResult, so re-raise the failure class for the
+// attempt wrapper rather than inventing a second classification path.
+func runExperiment(ctx context.Context, spec Spec) ([]byte, error) {
+	e, ok := report.Find(spec.Experiment)
+	if !ok {
+		return nil, &ReasonError{Reason: "config", Err: fmt.Errorf("unknown experiment %q", spec.Experiment)}
+	}
+	r := report.RunOne(ctx, e, spec.scale())
+	if r.Err != nil {
+		panic(&contained{reason: r.FailReason, err: r.Err})
+	}
+	return []byte(r.Table.Render() + "\n"), nil
+}
+
+// runTrace records a workload trace, exactly the bytes `mmutrace -o`
+// writes.
+func runTrace(ctx context.Context, spec Spec) ([]byte, error) {
+	rec, err := tracerec.Record(ctx, tracerec.RecordOptions{
+		Workload: spec.Workload,
+		CPU:      spec.CPU,
+		Config:   spec.Config,
+		Iters:    spec.Iters,
+	})
+	if err != nil {
+		return nil, &ReasonError{Reason: "config", Err: err}
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runChaos soaks the machine under fault injection, exactly the bytes
+// `mmuchaos -o` writes. A failed audit fails the job with reason
+// "audit" (mirroring mmuchaos exit code 5) — deterministic, so not
+// retried and not cached.
+func runChaos(ctx context.Context, spec Spec) ([]byte, error) {
+	rep, err := chaos.Run(ctx, chaos.Options{
+		Workload: spec.Workload,
+		CPU:      spec.CPU,
+		Config:   spec.Config,
+		Iters:    spec.Iters,
+		Schedule: spec.Schedule,
+	})
+	if err != nil {
+		return nil, &ReasonError{Reason: "config", Err: err}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if !rep.OK {
+		return nil, &ReasonError{Reason: "audit", Err: fmt.Errorf("chaos audit failed: %d sections", len(rep.Sections))}
+	}
+	return data, nil
+}
+
+// contained is the panic value runExperiment re-raises when RunOne
+// already contained and classified a failure, so the attempt wrapper
+// keeps the classification instead of re-deriving it from a
+// stringified panic.
+type contained struct {
+	reason string
+	err    error
+}
+
+// attempt runs one attempt of a job under the panic-containment
+// contract: whatever the runner does, attempt returns. reason is ""
+// on success and the failure class otherwise.
+func (s *Server) attempt(ctx context.Context, r Runner, spec Spec) (body []byte, reason string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if c, ok := p.(*contained); ok {
+				reason, err = c.reason, c.err
+				return
+			}
+			reason = report.FailureReason(p)
+			err = fmt.Errorf("job %s: %v\n%s", reason, p, debug.Stack())
+		}
+	}()
+	body, err = r(ctx, spec)
+	if err != nil {
+		var re *ReasonError
+		if errors.As(err, &re) {
+			return nil, re.Reason, err
+		}
+		return nil, "error", err
+	}
+	return body, "", nil
+}

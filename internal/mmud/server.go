@@ -1,0 +1,646 @@
+package mmud
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"mmutricks/internal/clock"
+)
+
+// Config sizes the daemon. The zero value is serviceable: every field
+// has a default chosen for the Quick-scale experiments the smoke
+// tests drive.
+type Config struct {
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected 429. <=0 means 64.
+	QueueDepth int
+	// ClientInflight caps one client's queued+running jobs; beyond it
+	// the client's submissions are rejected 429. <=0 means 8.
+	ClientInflight int
+	// Workers is the job-worker count: 0 means GOMAXPROCS, negative
+	// means none — an admission-only daemon whose queue is drained by
+	// a later process via the journal (the replay tests and the CI
+	// drain smoke run this mode so the queue contents are exact).
+	Workers int
+	// MaxAttempts caps attempts per job (retries happen only for
+	// panic failures). <=0 means 3.
+	MaxAttempts int
+	// BackoffBase/BackoffCap bound the decorrelated-jitter retry
+	// backoff. Zero means 50ms / 2s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BudgetCycles is the default per-attempt simulated-cycle budget
+	// (a spec may set its own, but never zero/unlimited). Zero means
+	// 1<<40 — the report harness's watchdog value.
+	BudgetCycles clock.Cycles
+	// WallTimeout is the default per-attempt wall-clock timeout. Zero
+	// means 2 minutes.
+	WallTimeout time.Duration
+	// DrainTimeout bounds Drain: in-flight attempts still running when
+	// it expires are cancelled (classified canceled/timeout). Zero
+	// means 10 seconds.
+	DrainTimeout time.Duration
+	// JournalPath enables the crash journal. Empty means no journal
+	// (submissions are lost on restart).
+	JournalPath string
+	// Runners registers extra job kinds (tests inject panicky ones).
+	Runners map[string]Runner
+	// Sleep replaces the backoff sleep (tests collect the schedule
+	// instead of waiting). Nil means a real timer that drain's hard
+	// kill cuts short.
+	Sleep func(time.Duration)
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ClientInflight <= 0 {
+		c.ClientInflight = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	if c.BudgetCycles == 0 {
+		c.BudgetCycles = 1 << 40
+	}
+	if c.WallTimeout <= 0 {
+		c.WallTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// stats are the /statsz counters, guarded by the server mutex.
+type stats struct {
+	Submitted         uint64            `json:"submitted"`
+	RejectedQueueFull uint64            `json:"rejected_queue_full"`
+	RejectedClientCap uint64            `json:"rejected_client_cap"`
+	RejectedDraining  uint64            `json:"rejected_draining"`
+	Started           uint64            `json:"started"`
+	Retries           uint64            `json:"retries"`
+	Done              uint64            `json:"done"`
+	Failed            map[string]uint64 `json:"failed"`
+	CacheEntries      int               `json:"cache_entries"`
+	CacheHits         uint64            `json:"cache_hits"`
+	QueueDepth        int               `json:"queue_depth"`
+	Running           int               `json:"running"`
+	Draining          bool              `json:"draining"`
+	Replayed          int               `json:"replayed"`
+	// SimCycles is the process cycle-meter delta since the server
+	// started: the total simulated work the daemon's jobs charged.
+	SimCycles uint64 `json:"sim_cycles"`
+}
+
+// Server is the mmud daemon core: admission, queue, workers, retry,
+// journal, cache, drain. It is plain library code — cmd/mmud wires it
+// to an HTTP listener and signals.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	jobs       map[string]*Job
+	queue      []*Job
+	clientLoad map[string]int
+	running    int
+	draining   bool
+	seq        uint64
+	st         stats
+
+	baseCtx context.Context
+	kill    context.CancelFunc
+	wg      sync.WaitGroup
+
+	drainGate  sync.Once
+	drainClean bool
+
+	journal    *Journal
+	cache      *resultCache
+	budgets    *budgetGuard
+	meterStart uint64
+}
+
+// New builds a server, replaying the journal (if configured) into the
+// queue, and starts its workers.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:        cfg,
+		jobs:       map[string]*Job{},
+		clientLoad: map[string]int{},
+		cache:      newResultCache(),
+		budgets:    newBudgetGuard(),
+		meterStart: clock.MeterNow(),
+		st:         stats{Failed: map[string]uint64{}},
+		seq:        1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.kill = context.WithCancel(context.Background())
+	if cfg.JournalPath != "" {
+		j, replayed, nextSeq, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.seq = nextSeq
+		for _, r := range replayed {
+			job := &Job{ID: r.ID, Seq: r.Seq, Spec: r.Spec, State: StateQueued, CacheKey: r.Spec.CacheKey()}
+			s.jobs[job.ID] = job
+			s.queue = append(s.queue, job)
+			s.clientLoad[job.Spec.Client]++
+		}
+		s.st.Replayed = len(replayed)
+		if len(replayed) > 0 {
+			s.logf("journal replay: requeued %d unfinished jobs", len(replayed))
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit admits a job (or serves it from cache) and returns its
+// record. The error is an admissionError carrying the HTTP status.
+func (s *Server) Submit(spec Spec) (Job, error) {
+	spec.normalize()
+	if err := spec.validate(s.cfg.Runners); err != nil {
+		return Job{}, &admissionError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	key := spec.CacheKey()
+
+	s.mu.Lock()
+	if s.draining {
+		s.st.RejectedDraining++
+		s.mu.Unlock()
+		return Job{}, &admissionError{status: http.StatusServiceUnavailable, msg: "draining: not admitting jobs"}
+	}
+	if body, ok := s.cache.get(key); ok {
+		// Content-addressed hit: the result already exists, so the job
+		// completes at admission with the original bytes, no attempt
+		// run, no queue slot held.
+		id, seq := s.nextID()
+		job := &Job{ID: id, Seq: seq, Spec: spec, State: StateDone,
+			CacheKey: key, CacheHit: true, result: body}
+		s.jobs[job.ID] = job
+		s.st.Submitted++
+		s.st.Done++
+		s.mu.Unlock()
+		if err := s.journalPair(job); err != nil {
+			return Job{}, err
+		}
+		s.logf("job %s %s cache-hit (%s)", job.ID, spec.Kind, key[:12])
+		return *job, nil
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.st.RejectedQueueFull++
+		s.mu.Unlock()
+		return Job{}, &admissionError{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("queue full (%d queued)", s.cfg.QueueDepth), retryAfter: true}
+	}
+	if s.clientLoad[spec.Client] >= s.cfg.ClientInflight {
+		s.st.RejectedClientCap++
+		s.mu.Unlock()
+		return Job{}, &admissionError{status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("client %q at in-flight cap (%d)", spec.Client, s.cfg.ClientInflight), retryAfter: true}
+	}
+	id, seq := s.nextID()
+	job := &Job{ID: id, Seq: seq, Spec: spec, State: StateQueued, CacheKey: key}
+	s.mu.Unlock()
+
+	// Durability before acknowledgement: the submit record is fsynced
+	// before the job becomes visible, so an acknowledged job survives
+	// a crash (replay requeues it).
+	if err := s.journal.append(journalRecord{Seq: job.Seq, Event: evSubmit, ID: job.ID, Spec: &job.Spec}); err != nil {
+		return Job{}, &admissionError{status: http.StatusInternalServerError, msg: fmt.Sprintf("journal: %v", err)}
+	}
+
+	s.mu.Lock()
+	s.jobs[job.ID] = job
+	s.queue = append(s.queue, job)
+	s.clientLoad[spec.Client]++
+	s.st.Submitted++
+	snapshot := *job // copied under the lock: a worker may mutate the job the moment it is queued
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.logf("job %s %s queued (%s)", job.ID, spec.Kind, key[:12])
+	return snapshot, nil
+}
+
+// journalPair writes submit+finish for a job that completed at
+// admission (cache hit), keeping the journal's submit/finish pairing
+// invariant so replay never requeues it.
+func (s *Server) journalPair(job *Job) error {
+	if err := s.journal.append(journalRecord{Seq: job.Seq, Event: evSubmit, ID: job.ID, Spec: &job.Spec}); err != nil {
+		return &admissionError{status: http.StatusInternalServerError, msg: fmt.Sprintf("journal: %v", err)}
+	}
+	if err := s.journal.append(journalRecord{Seq: job.Seq, Event: evFinish, ID: job.ID, State: StateDone, CacheHit: true}); err != nil {
+		return &admissionError{status: http.StatusInternalServerError, msg: fmt.Sprintf("journal: %v", err)}
+	}
+	return nil
+}
+
+// nextID allocates the next seq and its job ID. Callers hold s.mu.
+func (s *Server) nextID() (string, uint64) {
+	seq := s.seq
+	s.seq++
+	return fmt.Sprintf("j-%06d", seq), seq
+}
+
+// Job returns a copy of the job record.
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Result returns a finished job's result body.
+func (s *Server) Result(id string) ([]byte, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return j.result, j.State, true
+}
+
+// Stats snapshots the /statsz counters.
+func (s *Server) Stats() stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Failed = map[string]uint64{}
+	for k, v := range s.st.Failed { //mmutricks:nondet-ok snapshot copy; JSON encoding sorts the keys
+		st.Failed[k] = v
+	}
+	st.CacheEntries, st.CacheHits = s.cache.stats()
+	st.QueueDepth = len(s.queue)
+	st.Running = s.running
+	st.Draining = s.draining
+	st.SimCycles = clock.MeterNow() - s.meterStart
+	return st
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker pulls queued jobs until drain. It is a method value (not a
+// closure) on purpose: all its state lives behind the server mutex.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		job := s.next()
+		if job == nil {
+			return
+		}
+		s.run(job)
+	}
+}
+
+// next blocks for the next queued job, or nil once draining: a
+// draining daemon finishes what is running but starts nothing new, so
+// still-queued jobs stay in the journal for the next start to replay.
+func (s *Server) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.draining {
+		s.cond.Wait()
+	}
+	if s.draining {
+		return nil
+	}
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	job.State = StateRunning
+	s.running++
+	s.st.Started++
+	return job
+}
+
+// run drives one job through its attempts, retrying panics with the
+// seeded backoff schedule, and settles it done or failed. The daemon
+// itself never fails here: every runner outcome is contained.
+func (s *Server) run(job *Job) {
+	backoff := backoffSchedule(job.Spec.Seed, s.cfg.MaxAttempts-1, s.cfg.BackoffBase, s.cfg.BackoffCap)
+	budget := s.cfg.BudgetCycles
+	if job.Spec.BudgetCycles != 0 {
+		budget = clock.Cycles(job.Spec.BudgetCycles)
+	}
+	timeout := s.cfg.WallTimeout
+	if job.Spec.TimeoutMS > 0 {
+		timeout = time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	}
+	r := s.runner(job.Spec.Kind)
+
+	var body []byte
+	var reason string
+	var err error
+	for a := 1; a <= s.cfg.MaxAttempts; a++ {
+		ev := evStart
+		if a > 1 {
+			ev = evRetry
+		}
+		if jerr := s.journal.append(journalRecord{Seq: job.Seq, Event: ev, ID: job.ID, Attempt: a}); jerr != nil {
+			s.logf("job %s: journal: %v", job.ID, jerr)
+		}
+		s.mu.Lock()
+		job.Attempts = a
+		if a > 1 {
+			s.st.Retries++
+		}
+		s.mu.Unlock()
+
+		var cycles uint64
+		body, reason, err, cycles = s.runAttempt(r, job.Spec, budget, timeout)
+		s.mu.Lock()
+		job.SimCycles += cycles
+		s.mu.Unlock()
+		if reason != "panic" || a == s.cfg.MaxAttempts {
+			break
+		}
+		s.logf("job %s attempt %d panicked; backing off %v", job.ID, a, backoff[a-1])
+		s.sleep(backoff[a-1])
+		if s.baseCtx.Err() != nil {
+			// Hard kill during backoff: settle as canceled rather than
+			// burning an attempt that would be cancelled immediately.
+			reason, err = "canceled", fmt.Errorf("job %s canceled during retry backoff", job.ID)
+			break
+		}
+	}
+	s.settle(job, body, reason, err)
+}
+
+// runAttempt runs one attempt under the budget guard, the wall-clock
+// timeout, and the panic containment wrapper, attributing the cycle
+// meter delta to the attempt (exact only when one job runs at a
+// time; concurrent jobs bleed into each other's readings).
+func (s *Server) runAttempt(r Runner, spec Spec, budget clock.Cycles, timeout time.Duration) ([]byte, string, error, uint64) {
+	release := s.budgets.acquire(budget)
+	defer release()
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	before := clock.MeterNow()
+	body, reason, err := s.attempt(ctx, r, spec)
+	return body, reason, err, clock.MeterNow() - before
+}
+
+// settle records a job's final state, journals the finish, and
+// releases its admission slot.
+func (s *Server) settle(job *Job, body []byte, reason string, err error) {
+	state := StateDone
+	if reason != "" {
+		state = StateFailed
+	}
+	if jerr := s.journal.append(journalRecord{Seq: job.Seq, Event: evFinish, ID: job.ID, State: state, Reason: reason}); jerr != nil {
+		s.logf("job %s: journal: %v", job.ID, jerr)
+	}
+	s.mu.Lock()
+	job.State = state
+	job.FailReason = reason
+	if err != nil {
+		job.Error = err.Error()
+	}
+	job.result = body
+	s.running--
+	s.clientLoad[job.Spec.Client]--
+	if s.clientLoad[job.Spec.Client] <= 0 {
+		delete(s.clientLoad, job.Spec.Client)
+	}
+	if state == StateDone {
+		s.st.Done++
+		s.cache.put(job.CacheKey, body)
+	} else {
+		s.st.Failed[reason]++
+	}
+	s.mu.Unlock()
+	if state == StateDone {
+		s.logf("job %s done after %d attempt(s)", job.ID, job.Attempts)
+	} else {
+		s.logf("job %s failed(%s) after %d attempt(s)", job.ID, reason, job.Attempts)
+	}
+}
+
+// sleep waits d, cut short by the drain hard-kill, unless the config
+// injected a deterministic replacement.
+func (s *Server) sleep(d time.Duration) {
+	if s.cfg.Sleep != nil {
+		s.cfg.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.baseCtx.Done():
+	}
+}
+
+// Drain shuts the service down gracefully: stop admitting, stop
+// starting queued jobs, wait for in-flight attempts up to the drain
+// timeout, then cancel them (they settle failed(canceled)), and close
+// the journal. Queued-but-unstarted jobs stay journalled as
+// submit-without-finish, so the next start replays them. Drain is
+// idempotent (sync.Once; concurrent callers block until the first
+// finishes) and returns true if everything in flight finished without
+// the hard kill.
+func (s *Server) Drain() bool {
+	s.drainGate.Do(s.doDrain)
+	return s.drainClean
+}
+
+func (s *Server) doDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.logf("draining: admission closed, waiting up to %v for in-flight jobs", s.cfg.DrainTimeout)
+
+	done := make(chan struct{})
+	go s.awaitWorkers(done)
+	clean := true
+	t := time.NewTimer(s.cfg.DrainTimeout)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+		clean = false
+		s.logf("drain timeout: cancelling in-flight jobs")
+		s.kill()
+		<-done
+	}
+	s.kill() // release the context either way
+	if err := s.journal.Close(); err != nil {
+		s.logf("journal close: %v", err)
+		clean = false
+	}
+	s.logf("drained (clean=%v)", clean)
+	s.drainClean = clean
+}
+
+// awaitWorkers signals done once every worker has exited. A method
+// value so the drain path stays closure-free for the determinism
+// pass.
+func (s *Server) awaitWorkers(done chan struct{}) {
+	s.wg.Wait()
+	close(done)
+}
+
+// admissionError is a rejection with an HTTP status.
+type admissionError struct {
+	status     int
+	msg        string
+	retryAfter bool
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs             submit a Spec; 202 + job record (200 on cache hit)
+//	GET  /jobs/{id}        job record
+//	GET  /jobs/{id}/result finished job's result body
+//	GET  /healthz          process liveness (always 200)
+//	GET  /readyz           admission readiness (503 while draining)
+//	GET  /statsz           counters, queue depth, cycle attribution
+//	POST /drain            begin graceful drain (202; returns at once)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad spec: %v", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		ae, ok := err.(*admissionError)
+		if !ok {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if ae.retryAfter {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, ae.status, ae.msg)
+		return
+	}
+	status := http.StatusAccepted
+	if job.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	body, state, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	case StateFailed:
+		httpError(w, http.StatusConflict, "job failed; see the job record")
+	default:
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusAccepted, "job not finished")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	go s.drainBg()
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "draining")
+}
+
+// drainBg is the goroutine body behind POST /drain (a method value,
+// not a closure).
+func (s *Server) drainBg() { s.Drain() }
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

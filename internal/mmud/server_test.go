@@ -1,0 +1,411 @@
+package mmud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mmutricks/internal/clock"
+	"mmutricks/internal/report"
+)
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, s *Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if j.State == StateDone || j.State == StateFailed {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never settled", id)
+	return Job{}
+}
+
+// flakyRunner panics on the first failures calls, then succeeds.
+type flakyRunner struct {
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (f *flakyRunner) run(ctx context.Context, spec Spec) ([]byte, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.failures {
+		panic(fmt.Sprintf("flaky failure %d", n))
+	}
+	return []byte("flaky result for seed " + fmt.Sprint(spec.Seed) + "\n"), nil
+}
+
+// TestRetryThenSingleCachedResult is the issue's retry acceptance
+// test: a job that panics N-1 times and then succeeds ends done after
+// exactly N attempts, sleeping the seeded backoff schedule between
+// them, and yields exactly one cached result — resubmission is a
+// cache hit with byte-identical bytes and zero attempts.
+func TestRetryThenSingleCachedResult(t *testing.T) {
+	flaky := &flakyRunner{failures: 2}
+	var sleepMu sync.Mutex
+	var slept []time.Duration
+	s, err := New(Config{
+		Workers:     1,
+		MaxAttempts: 3,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  100 * time.Millisecond,
+		JournalPath: filepath.Join(t.TempDir(), "j"),
+		Runners:     map[string]Runner{"flaky": flaky.run},
+		Sleep: func(d time.Duration) {
+			sleepMu.Lock()
+			slept = append(slept, d)
+			sleepMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	spec := Spec{Kind: "flaky", Seed: 42, Client: "t"}
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitState(t, s, job.ID)
+	if job.State != StateDone || job.Attempts != 3 {
+		t.Fatalf("job: state=%s attempts=%d (%s), want done after 3", job.State, job.Attempts, job.Error)
+	}
+	body, _, _ := s.Result(job.ID)
+	if want := "flaky result for seed 42\n"; string(body) != want {
+		t.Fatalf("result %q, want %q", body, want)
+	}
+	want := backoffSchedule(42, 2, 10*time.Millisecond, 100*time.Millisecond)
+	sleepMu.Lock()
+	got := append([]time.Duration(nil), slept...)
+	sleepMu.Unlock()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoff sleeps %v, want %v", got, want)
+	}
+
+	// Resubmission: cache hit, no new attempt, byte-identical body.
+	again, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.State != StateDone || again.Attempts != 0 {
+		t.Fatalf("resubmit: %+v, want an attempt-free cache hit", again)
+	}
+	body2, _, _ := s.Result(again.ID)
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cache hit bytes differ from the original result")
+	}
+	st := s.Stats()
+	if st.CacheEntries != 1 || st.CacheHits != 1 || st.Retries != 2 {
+		t.Fatalf("stats: entries=%d hits=%d retries=%d, want 1/1/2", st.CacheEntries, st.CacheHits, st.Retries)
+	}
+	if flaky.calls != 3 {
+		t.Fatalf("runner ran %d times, want 3 (the cache hit must not re-run)", flaky.calls)
+	}
+}
+
+// TestRetryExhaustionFails: a job that panics on every attempt settles
+// failed(panic) after MaxAttempts, and does NOT poison the cache.
+func TestRetryExhaustionFails(t *testing.T) {
+	flaky := &flakyRunner{failures: 99}
+	s, err := New(Config{
+		Workers: 1, MaxAttempts: 3,
+		Runners: map[string]Runner{"flaky": flaky.run},
+		Sleep:   func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	job, err := s.Submit(Spec{Kind: "flaky", Client: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitState(t, s, job.ID)
+	if job.State != StateFailed || job.FailReason != "panic" || job.Attempts != 3 {
+		t.Fatalf("job = %+v, want failed(panic) after 3 attempts", job)
+	}
+	if !strings.Contains(job.Error, "flaky failure 3") {
+		t.Errorf("job error %q missing the final panic", job.Error)
+	}
+	if st := s.Stats(); st.CacheEntries != 0 || st.Failed["panic"] != 1 {
+		t.Errorf("stats after failure: %+v, want no cache entry and one panic failure", st)
+	}
+}
+
+// burnRunner charges cycles until the ledger watchdog trips.
+func burnRunner(ctx context.Context, spec Spec) ([]byte, error) {
+	l := clock.NewLedger(100)
+	for i := 0; i < 1<<20; i++ {
+		l.Charge(1000)
+	}
+	return []byte("never\n"), nil
+}
+
+// TestBudgetKillClassifiesCycleBudget: a runaway job trips the
+// per-job cycle budget, settles failed(cycle-budget), and is not
+// retried (the budget would just trip again).
+func TestBudgetKillClassifiesCycleBudget(t *testing.T) {
+	s, err := New(Config{
+		Workers: 1, MaxAttempts: 3,
+		Runners: map[string]Runner{"burn": burnRunner},
+		Sleep:   func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	job, err := s.Submit(Spec{Kind: "burn", BudgetCycles: 10_000, Client: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitState(t, s, job.ID)
+	if job.State != StateFailed || job.FailReason != "cycle-budget" {
+		t.Fatalf("job = state=%s reason=%s, want failed(cycle-budget)", job.State, job.FailReason)
+	}
+	if job.Attempts != 1 {
+		t.Errorf("budget trips retried: %d attempts, want 1", job.Attempts)
+	}
+}
+
+// TestAdmissionControl drives both rejection axes of an
+// admission-only daemon: the bounded queue (429 when full) and the
+// per-client in-flight cap (429 for the hog, admission for others).
+func TestAdmissionControl(t *testing.T) {
+	s, err := New(Config{Workers: -1, QueueDepth: 3, ClientInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	submit := func(client, exp string) error {
+		_, err := s.Submit(Spec{Kind: "experiment", Experiment: exp, Client: client})
+		return err
+	}
+	if err := submit("alice", "figure1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := submit("alice", "table1"); err != nil {
+		t.Fatal(err)
+	}
+	// Alice is at her cap of 2.
+	err = submit("alice", "table2")
+	ae, ok := err.(*admissionError)
+	if !ok || ae.status != http.StatusTooManyRequests || !strings.Contains(ae.msg, "in-flight cap") {
+		t.Fatalf("client-cap breach: got %v, want 429 in-flight cap", err)
+	}
+	// Bob still gets the last queue slot...
+	if err := submit("bob", "table2"); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the queue is now full for everyone.
+	err = submit("carol", "table3")
+	ae, ok = err.(*admissionError)
+	if !ok || ae.status != http.StatusTooManyRequests || !strings.Contains(ae.msg, "queue full") {
+		t.Fatalf("queue-full breach: got %v, want 429 queue full", err)
+	}
+	st := s.Stats()
+	if st.RejectedQueueFull != 1 || st.RejectedClientCap != 1 || st.Submitted != 3 {
+		t.Fatalf("stats: %+v, want 1 queue-full, 1 client-cap, 3 admitted", st)
+	}
+	// Bad specs are 400s, not 429s.
+	_, err = s.Submit(Spec{Kind: "experiment", Experiment: "nope", Client: "t"})
+	if ae, ok := err.(*admissionError); !ok || ae.status != http.StatusBadRequest {
+		t.Fatalf("unknown experiment: got %v, want 400", err)
+	}
+	_, err = s.Submit(Spec{Kind: "solitaire", Client: "t"})
+	if ae, ok := err.(*admissionError); !ok || ae.status != http.StatusBadRequest {
+		t.Fatalf("unknown kind: got %v, want 400", err)
+	}
+}
+
+// stuckRunner blocks until its context dies, then raises the
+// cooperative-cancellation sentinel like a RowSet row would.
+func stuckRunner(ctx context.Context, spec Spec) ([]byte, error) {
+	<-ctx.Done()
+	report.RowSet(ctx, 1, func(int) {})
+	return []byte("unreachable\n"), nil
+}
+
+// TestDrainBudgetKillsStuckJobs: drain waits DrainTimeout for
+// in-flight work, then cancels it; the stuck job settles
+// failed(canceled) and the drain reports unclean — but the daemon
+// survives to answer status requests.
+func TestDrainBudgetKillsStuckJobs(t *testing.T) {
+	s, err := New(Config{
+		Workers: 1, DrainTimeout: 20 * time.Millisecond,
+		Runners: map[string]Runner{"stuck": stuckRunner},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit(Spec{Kind: "stuck", Client: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to pick the job up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := s.Job(job.ID); j.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if clean := s.Drain(); clean {
+		t.Error("drain reported clean despite the hard kill")
+	}
+	j, _ := s.Job(job.ID)
+	if j.State != StateFailed || (j.FailReason != "canceled" && j.FailReason != "timeout") {
+		t.Fatalf("stuck job settled %s(%s), want failed(canceled|timeout)", j.State, j.FailReason)
+	}
+	if !s.Stats().Draining {
+		t.Error("stats lost the draining flag")
+	}
+}
+
+// TestDrainLeavesQueuedJobsForReplay: draining an admission-only
+// daemon finishes nothing, leaves the queue journalled as
+// submit-without-finish, and a restart replays all of it.
+func TestDrainLeavesQueuedJobsForReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s1, err := New(Config{Workers: -1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []string{"figure1", "table1"} {
+		if _, err := s1.Submit(Spec{Kind: "experiment", Experiment: exp, Client: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if clean := s1.Drain(); !clean {
+		t.Error("admission-only drain should be clean")
+	}
+	s2, err := New(Config{Workers: -1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if st := s2.Stats(); st.Replayed != 2 || st.QueueDepth != 2 {
+		t.Fatalf("after drain+restart: replayed=%d queue=%d, want 2/2", st.Replayed, st.QueueDepth)
+	}
+}
+
+// TestHTTPEndToEnd exercises the wire surface against a real
+// experiment: submit figure1 over HTTP, poll it done, fetch the
+// result, and check it matches the CLI's bytes; then the health
+// endpoints and the drain flip of /readyz.
+func TestHTTPEndToEnd(t *testing.T) {
+	s, err := New(Config{Workers: 2, JournalPath: filepath.Join(t.TempDir(), "j")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post("/jobs", `{"kind":"experiment","experiment":"figure1","client":"curl"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatalf("submit response: %v", err)
+	}
+	waitState(t, s, job.ID)
+
+	resp, result := get("/jobs/" + job.ID + "/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, result)
+	}
+	e, _ := report.Find("figure1")
+	want := report.RunOne(context.Background(), e, report.Quick).Table.Render() + "\n"
+	if string(result) != want {
+		t.Fatalf("HTTP result differs from the CLI render (%d vs %d bytes)", len(result), len(want))
+	}
+
+	// Resubmitting over the wire is a 200 cache hit with the same bytes.
+	resp, body = post("/jobs", `{"kind":"experiment","experiment":"figure1","client":"curl2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: %d %s", resp.StatusCode, body)
+	}
+	var hit Job
+	json.Unmarshal(body, &hit)
+	if !hit.CacheHit {
+		t.Fatalf("resubmit not a cache hit: %s", body)
+	}
+	_, result2 := get("/jobs/" + hit.ID + "/result")
+	if !bytes.Equal(result, result2) {
+		t.Fatal("cache hit served different bytes over HTTP")
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Error("healthz not 200")
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusOK {
+		t.Error("readyz not 200 before drain")
+	}
+	resp, _ = get("/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Error("statsz not 200")
+	}
+	if resp, _ := get("/jobs/j-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Error("unknown job not 404")
+	}
+
+	if resp, _ = post("/drain", ""); resp.StatusCode != http.StatusAccepted {
+		t.Error("drain not 202")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("readyz not 503 while draining")
+	}
+	if resp, _ := post("/jobs", `{"kind":"experiment","experiment":"table1"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("submit while draining not 503")
+	}
+	s.Drain()
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/chaos"
@@ -21,8 +22,8 @@ func init() {
 // FAILED experiment rather than a quietly wrong table.
 // ---------------------------------------------------------------------
 
-func runChaosSoak(s Scale) *Table {
-	rep, err := chaos.Run(chaos.Options{
+func runChaosSoak(ctx context.Context, s Scale) *Table {
+	rep, err := chaos.Run(ctx, chaos.Options{
 		Workload: "all",
 		CPU:      "604/185",
 		Config:   "optimized",

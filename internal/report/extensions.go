@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -25,7 +26,7 @@ func init() {
 // performance"), regenerated.
 // ---------------------------------------------------------------------
 
-func runProfile(s Scale) *Table {
+func runProfile(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(4, 12)
 	cfg.WorkPages = 320
@@ -40,7 +41,7 @@ func runProfile(s Scale) *Table {
 	}
 	cfgs := []kernel.Config{kernel.Unoptimized(), kernel.Optimized()}
 	var res [2]*telemetry.Phases
-	RowSet(2, func(i int) { res[i] = run(cfgs[i]) })
+	RowSet(ctx, 2, func(i int) { res[i] = run(cfgs[i]) })
 	unopt, opt := res[0], res[1]
 
 	var rows [][]string
@@ -134,14 +135,14 @@ func sec7LatencyProfile(onDemand bool, rounds int) (mean, p99, worst float64, sc
 	return mean, p99, worst, k.M.Mon.OnDemandScans
 }
 
-func runSec7OnDemand(s Scale) *Table {
+func runSec7OnDemand(ctx context.Context, s Scale) *Table {
 	rounds := s.pick(150, 600)
 	type prof struct {
 		mean, p99, worst float64
 		scans            uint64
 	}
 	var res [2]prof
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		m, p, w, sc := sec7LatencyProfile(i == 1, rounds)
 		res[i] = prof{m, p, w, sc}
 	})
@@ -171,7 +172,7 @@ func runSec7OnDemand(s Scale) *Table {
 // §10 — the future-work proposals, measured.
 // ---------------------------------------------------------------------
 
-func runSec10(s Scale) *Table {
+func runSec10(ctx context.Context, s Scale) *Table {
 	// §10.1 on the kernel compile: a cache lock makes even the §9
 	// cached-clearing pathology harmless.
 	cfg := kbuild.Default()
@@ -220,7 +221,7 @@ func runSec10(s Scale) *Table {
 	// Both §10.1 runs and both §10.2 runs are mutually independent.
 	var kbRes [2]kbuild.Result
 	var swRes [2]float64
-	RowSet(4, func(i int) {
+	RowSet(ctx, 4, func(i int) {
 		if i < 2 {
 			kbRes[i] = kb(i == 1)
 		} else {

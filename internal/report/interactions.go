@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/ablate"
@@ -14,7 +15,7 @@ func init() {
 	register(Experiment{ID: "interactions", Title: "How the optimizations combine (§4's non-additivity, §5.1's evaporation)", Run: runInteractions})
 }
 
-func runInteractions(s Scale) *Table {
+func runInteractions(ctx context.Context, s Scale) *Table {
 	bcfg := kbuild.Default()
 	bcfg.Units = s.pick(3, 8)
 	bcfg.WorkPages = 320
@@ -25,7 +26,7 @@ func runInteractions(s Scale) *Table {
 		r := kbuild.Run(k, bcfg)
 		return r.Cycles - r.IdleCycles
 	}
-	res := ablate.RunWith(metric, ablate.Knobs(), RowSet)
+	res := ablate.RunWith(metric, ablate.Knobs(), func(n int, fn func(int)) { RowSet(ctx, n, fn) })
 
 	rows := [][]string{
 		{"combined gain (all optimizations)", pct(res.CombinedGain), "", ""},

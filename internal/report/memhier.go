@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/clock"
@@ -13,7 +14,7 @@ func init() {
 	register(Experiment{ID: "mem-hierarchy", Title: "Memory-hierarchy curves and the §9 bzero design space", Run: runMemHier})
 }
 
-func runMemHier(s Scale) *Table {
+func runMemHier(ctx context.Context, s Scale) *Table {
 	refs := s.pick(3000, 12000)
 	sizes := []int{8 << 10, 16 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20}
 
@@ -28,7 +29,7 @@ func runMemHier(s Scale) *Table {
 	models := []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()}
 	latCells := make([]string, len(models)*len(sizes))
 	var bws [3]float64
-	RowSet(len(latCells)+3, func(idx int) {
+	RowSet(ctx, len(latCells)+3, func(idx int) {
 		switch {
 		case idx < len(latCells):
 			model := models[idx/len(sizes)]

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/clock"
@@ -33,7 +34,7 @@ type phaseRun struct {
 	dropped uint64
 }
 
-func runTelemetryPhases(s Scale) *Table {
+func runTelemetryPhases(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(2, 8)
 	cfg.WorkPages = 320
@@ -42,7 +43,7 @@ func runTelemetryPhases(s Scale) *Table {
 
 	models := []clock.CPUModel{clock.PPC603At133(), clock.PPC604At185()}
 	var res [2]phaseRun
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		m := machine.New(models[i])
 		m.Ph.Enable(telemetry.Options{SampleInterval: 1 << 18})
 		before := m.Mon.Snapshot()

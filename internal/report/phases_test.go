@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -25,9 +26,9 @@ func TestTelemetryPhasesGolden(t *testing.T) {
 		t.Fatal("telemetry-phases missing")
 	}
 	SetParallelism(1)
-	serial := e.Run(Quick).Render()
+	serial := e.Run(context.Background(), Quick).Render()
 	SetParallelism(4)
-	parallel := e.Run(Quick).Render()
+	parallel := e.Run(context.Background(), Quick).Render()
 	SetParallelism(1)
 	if serial != parallel {
 		t.Fatal("telemetry-phases output differs between -j 1 and -j 4")

@@ -5,6 +5,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -92,11 +93,15 @@ func renderGrid(headers []string, rows [][]string, tag string) string {
 	return b.String()
 }
 
-// Experiment is one registered reproduction.
+// Experiment is one registered reproduction. Run receives the
+// harness's context so cooperative cancellation reaches row
+// granularity: run functions pass it to RowSet, which stops starting
+// rows once the context is done. Run functions that never fan out may
+// ignore it.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) *Table
+	Run   func(ctx context.Context, s Scale) *Table
 }
 
 var registry = map[string]Experiment{}

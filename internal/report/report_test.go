@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -53,7 +54,7 @@ func TestFigure1(t *testing.T) {
 	if !ok {
 		t.Fatal("figure1 missing")
 	}
-	out := tb.Run(Quick)
+	out := tb.Run(context.Background(), Quick)
 	if len(out.Rows) < 8 {
 		t.Fatalf("figure1 rows = %d", len(out.Rows))
 	}
@@ -70,7 +71,7 @@ func TestChaosSoakExperiment(t *testing.T) {
 	if !ok {
 		t.Fatal("chaos-soak missing")
 	}
-	tb := e.Run(Quick)
+	tb := e.Run(context.Background(), Quick)
 	if len(tb.Rows) != 8 {
 		t.Fatalf("chaos-soak rows = %d, want one per fault kind (8)", len(tb.Rows))
 	}
@@ -123,8 +124,8 @@ func TestExperimentDeterminism(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		a := e.Run(Quick).Render()
-		b := e.Run(Quick).Render()
+		a := e.Run(context.Background(), Quick).Render()
+		b := e.Run(context.Background(), Quick).Render()
 		if a != b {
 			t.Errorf("%s not deterministic", id)
 		}

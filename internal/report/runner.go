@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -33,8 +34,11 @@ func Parallelism() int { return workpool.Parallelism() }
 // results by index, so output is deterministic at any parallelism. A
 // panic in any row is re-raised on the calling goroutine (annotated
 // with the row's stack), so RunAll's per-experiment isolation still
-// contains it.
-func RowSet(n int, fn func(i int)) { workpool.RowSet(n, fn) }
+// contains it. Cancellation is cooperative at row granularity: once
+// ctx is done no further rows start, and RowSet panics *workpool.
+// Canceled so the experiment degrades to a FAILED(canceled) or
+// FAILED(timeout) cell instead of rendering an incomplete table.
+func RowSet(ctx context.Context, n int, fn func(i int)) { workpool.RowSet(ctx, n, fn) }
 
 // rowBudgetCycles is the per-ledger watchdog RunAll arms: any single
 // simulated machine charging this many cycles has hung (the largest
@@ -52,6 +56,10 @@ type RunResult struct {
 	Table *Table
 	// Err carries a panic (with stack) the runner contained.
 	Err error
+	// FailReason classifies a contained failure: "panic",
+	// "cycle-budget", "canceled", or "timeout" (empty when Err is nil).
+	// cmd exit codes and the mmud daemon's retry policy key off it.
+	FailReason string
 	// Wall is host wall-clock time spent inside Run.
 	Wall time.Duration
 	// SimCycles is the simulated work the experiment charged, read from
@@ -66,18 +74,20 @@ type RunResult struct {
 // registry (All) order, so rendering them in sequence yields output
 // byte-identical to a sequential run. A panicking experiment is
 // contained: its RunResult carries the error and the remaining
-// experiments still run.
-func RunAll(scale Scale, parallelism int) []RunResult {
+// experiments still run. Cancelling ctx stops scheduling new
+// experiments and new rows; experiments cut off mid-run degrade to
+// FAILED(canceled)/FAILED(timeout) placeholders.
+func RunAll(ctx context.Context, scale Scale, parallelism int) []RunResult {
 	SetParallelism(parallelism)
 	old := clock.SetDefaultBudget(rowBudgetCycles)
 	defer clock.SetDefaultBudget(old)
-	return runExperiments(All(), scale, parallelism)
+	return runExperiments(ctx, All(), scale, parallelism)
 }
 
 // runExperiments is RunAll over an explicit experiment list (tests use
 // it to drive small subsets). SetParallelism must already reflect
 // `parallelism`.
-func runExperiments(exps []Experiment, scale Scale, parallelism int) []RunResult {
+func runExperiments(ctx context.Context, exps []Experiment, scale Scale, parallelism int) []RunResult {
 	out := make([]RunResult, len(exps))
 	workers := parallelism
 	if workers > len(exps) {
@@ -98,7 +108,7 @@ func runExperiments(exps []Experiment, scale Scale, parallelism int) []RunResult
 				if i >= len(exps) {
 					return
 				}
-				out[i] = runOne(exps[i], scale)
+				out[i] = RunOne(ctx, exps[i], scale)
 			}
 		}()
 	}
@@ -106,9 +116,16 @@ func runExperiments(exps []Experiment, scale Scale, parallelism int) []RunResult
 	return out
 }
 
-// runOne executes a single experiment while holding one harness token,
-// containing any panic.
-func runOne(e Experiment, scale Scale) (r RunResult) {
+// RunOne executes a single experiment while holding one harness token,
+// containing any panic (including ledger budget trips and cooperative
+// cancellation) into a structured RunResult: the daemon and the CLI
+// both rely on a failed experiment never taking the caller down. The
+// caller is responsible for the default cycle budget (RunAll arms the
+// watchdog; mmud installs per-job budgets).
+func RunOne(ctx context.Context, e Experiment, scale Scale) (r RunResult) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r.Experiment = e
 	release := workpool.Acquire()
 	defer release()
@@ -118,19 +135,37 @@ func runOne(e Experiment, scale Scale) (r RunResult) {
 		r.Wall = time.Since(start) //mmutricks:nondet-ok Wall feeds the bench JSON only, never the report bytes
 		r.SimCycles = clock.MeterNow() - cyc
 		if p := recover(); p != nil {
-			r.Err = fmt.Errorf("experiment %s panicked: %v\n%s", e.ID, p, debug.Stack())
-			r.Table = failedTable(e, failureReason(p))
+			reason := FailureReason(p)
+			r.Err = fmt.Errorf("experiment %s %s: %v\n%s", e.ID, reason, p, debug.Stack())
+			r.FailReason = reason
+			r.Table = failedTable(e, reason)
 		}
 	}()
-	r.Table = e.Run(scale)
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: don't start the experiment at all. Raise
+		// the same sentinel a mid-run cancellation produces so the
+		// deferred containment renders the placeholder.
+		panic(&workpool.Canceled{Cause: context.Cause(ctx)})
+	}
+	r.Table = e.Run(ctx, scale)
 	return r
 }
 
-// failureReason classifies a contained panic for the FAILED cell.
-// Budget trips arrive either as the *clock.BudgetError itself or — via
-// a RowSet row goroutine — re-raised as a formatted string, so the
-// fixed phrase in BudgetError.Error is matched, not the type.
-func failureReason(p any) string {
+// FailureReason classifies a contained panic for the FAILED cell and
+// the exit-code/retry policies built on top: "cycle-budget" for ledger
+// watchdog trips, "timeout"/"canceled" for cooperative cancellation,
+// and "panic" for everything else. Budget trips and cancellations
+// arrive either as their sentinel values or — via a RowSet row
+// goroutine — re-raised as formatted strings, so the fixed phrases in
+// clock.BudgetError.Error and workpool.Canceled.Error are matched, not
+// the types.
+func FailureReason(p any) string {
+	if canceled, timeout := workpool.IsCanceled(p); canceled {
+		if timeout {
+			return "timeout"
+		}
+		return "canceled"
+	}
 	if strings.Contains(fmt.Sprint(p), "cycle budget exceeded") {
 		return "cycle-budget"
 	}

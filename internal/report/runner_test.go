@@ -1,10 +1,12 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"mmutricks/internal/clock"
 	"mmutricks/internal/workpool"
@@ -36,8 +38,8 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 		}
 		return b.String()
 	}
-	seq := render(RunAll(Quick, 1))
-	par := render(RunAll(Quick, 8))
+	seq := render(RunAll(context.Background(), Quick, 1))
+	par := render(RunAll(context.Background(), Quick, 8))
 	if seq != par {
 		t.Fatalf("-j 1 and -j 8 output differ:\n-j1 %d bytes, -j8 %d bytes", len(seq), len(par))
 	}
@@ -54,9 +56,9 @@ func TestRunnerSmallConcurrent(t *testing.T) {
 		i := i
 		exps[i] = Experiment{
 			ID: fmt.Sprintf("synthetic-%02d", i),
-			Run: func(Scale) *Table {
+			Run: func(ctx context.Context, _ Scale) *Table {
 				cells := make([]string, 8)
-				RowSet(len(cells), func(r int) {
+				RowSet(ctx, len(cells), func(r int) {
 					cells[r] = fmt.Sprintf("%d*%d=%d", i, r, i*r)
 				})
 				return &Table{ID: fmt.Sprintf("synthetic-%02d", i), Rows: [][]string{cells}}
@@ -64,7 +66,7 @@ func TestRunnerSmallConcurrent(t *testing.T) {
 		}
 	}
 	SetParallelism(4)
-	res := runExperiments(exps, Quick, 4)
+	res := runExperiments(context.Background(), exps, Quick, 4)
 	if len(res) != n {
 		t.Fatalf("got %d results, want %d", len(res), n)
 	}
@@ -90,10 +92,10 @@ func TestRunnerSmallConcurrent(t *testing.T) {
 func TestRunnerPanicIsolation(t *testing.T) {
 	resetPool(t)
 	exps := []Experiment{
-		{ID: "boom-direct", Run: func(Scale) *Table { panic("kaboom-direct") }},
-		{ID: "fine", Run: func(Scale) *Table { return &Table{ID: "fine"} }},
-		{ID: "boom-rowset", Run: func(Scale) *Table {
-			RowSet(4, func(i int) {
+		{ID: "boom-direct", Run: func(ctx context.Context, _ Scale) *Table { panic("kaboom-direct") }},
+		{ID: "fine", Run: func(ctx context.Context, _ Scale) *Table { return &Table{ID: "fine"} }},
+		{ID: "boom-rowset", Run: func(ctx context.Context, _ Scale) *Table {
+			RowSet(ctx, 4, func(i int) {
 				if i == 2 {
 					panic("kaboom-row")
 				}
@@ -102,7 +104,7 @@ func TestRunnerPanicIsolation(t *testing.T) {
 		}},
 	}
 	SetParallelism(3)
-	res := runExperiments(exps, Quick, 3)
+	res := runExperiments(context.Background(), exps, Quick, 3)
 	if res[0].Err == nil || !strings.Contains(res[0].Err.Error(), "kaboom-direct") {
 		t.Errorf("boom-direct: want contained panic, got %v", res[0].Err)
 	}
@@ -134,19 +136,19 @@ func TestRunnerBudgetDegradation(t *testing.T) {
 		}
 	}
 	exps := []Experiment{
-		{ID: "burn-direct", Run: func(Scale) *Table { burn(); return nil }},
-		{ID: "burn-rowset", Run: func(Scale) *Table {
-			RowSet(4, func(i int) {
+		{ID: "burn-direct", Run: func(ctx context.Context, _ Scale) *Table { burn(); return nil }},
+		{ID: "burn-rowset", Run: func(ctx context.Context, _ Scale) *Table {
+			RowSet(ctx, 4, func(i int) {
 				if i == 3 {
 					burn()
 				}
 			})
 			return &Table{ID: "burn-rowset"}
 		}},
-		{ID: "frugal", Run: func(Scale) *Table { return &Table{ID: "frugal"} }},
+		{ID: "frugal", Run: func(ctx context.Context, _ Scale) *Table { return &Table{ID: "frugal"} }},
 	}
 	SetParallelism(2)
-	res := runExperiments(exps, Quick, 2)
+	res := runExperiments(context.Background(), exps, Quick, 2)
 	for _, i := range []int{0, 1} {
 		if res[i].Err == nil || !strings.Contains(res[i].Err.Error(), "cycle budget exceeded") {
 			t.Errorf("%s: want budget panic in Err, got %v", res[i].Experiment.ID, res[i].Err)
@@ -170,13 +172,52 @@ func TestRunAllArmsDefaultBudget(t *testing.T) {
 	resetPool(t)
 	old := clock.SetDefaultBudget(0)
 	defer clock.SetDefaultBudget(old)
-	for _, r := range RunAll(Quick, 4) {
+	for _, r := range RunAll(context.Background(), Quick, 4) {
 		if r.Err != nil {
 			t.Fatalf("experiment %s failed under the default budget: %v", r.Experiment.ID, r.Err)
 		}
 	}
 	if got := clock.SetDefaultBudget(0); got != 0 {
 		t.Errorf("RunAll left default budget %d armed", got)
+	}
+}
+
+// TestRunOneCancellation pins the classification of cooperative
+// cancellation: a cancelled context degrades the experiment to a
+// FAILED(canceled) placeholder (FAILED(timeout) for deadlines) without
+// running any rows, and FailReason carries the class for the exit-code
+// and retry policies layered on top.
+func TestRunOneCancellation(t *testing.T) {
+	resetPool(t)
+	SetParallelism(2)
+	e := Experiment{ID: "cancel-me", Title: "x", Run: func(ctx context.Context, _ Scale) *Table {
+		RowSet(ctx, 4, func(i int) {})
+		return &Table{ID: "cancel-me"}
+	}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := RunOne(ctx, e, Quick)
+	if r.FailReason != "canceled" {
+		t.Errorf("cancelled: FailReason = %q, want canceled", r.FailReason)
+	}
+	if r.Table == nil || !strings.Contains(r.Table.Render(), "FAILED(canceled)") {
+		t.Errorf("cancelled: want FAILED(canceled) placeholder, got %+v", r.Table)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	r = RunOne(dctx, e, Quick)
+	if r.FailReason != "timeout" {
+		t.Errorf("deadline: FailReason = %q, want timeout", r.FailReason)
+	}
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "timeout") {
+		t.Errorf("deadline: Err = %v, want timeout classification", r.Err)
+	}
+
+	// A live context runs normally and leaves FailReason empty.
+	if r = RunOne(context.Background(), e, Quick); r.Err != nil || r.FailReason != "" {
+		t.Errorf("live context: unexpected failure %v (%q)", r.Err, r.FailReason)
 	}
 }
 
@@ -189,7 +230,7 @@ func TestRowSetInlineWhenExhausted(t *testing.T) {
 	release := workpool.Acquire() // simulate the experiment itself holding the only token
 	defer release()
 	done := make([]bool, 16)
-	RowSet(len(done), func(i int) { done[i] = true })
+	RowSet(context.Background(), len(done), func(i int) { done[i] = true })
 	for i, d := range done {
 		if !d {
 			t.Fatalf("row %d never ran", i)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/arch"
@@ -38,7 +39,7 @@ func mustConsistent(k *kernel.Kernel) {
 	}
 }
 
-func runSec51(s Scale) *Table {
+func runSec51(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(4, 16)
 	// A compiler arena larger than the 604's 1 MB TLB reach, with
@@ -59,7 +60,7 @@ func runSec51(s Scale) *Table {
 	}
 	cfgs := []kernel.Config{base, bat}
 	var res [2]s51
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		k := kernel.New(machine.New(clock.PPC604At185()), cfgs[i])
 		r := kbuild.Run(k, cfg)
 		res[i] = s51{r, k.M.MMU.TLB.KernelEntries()}
@@ -144,7 +145,7 @@ func sec52Utilization(scatter uint32, kernelPTEs bool, procs, pagesPerProc int) 
 		float64(h.Occupancy()) / float64(h.Capacity())
 }
 
-func runSec52(s Scale) *Table {
+func runSec52(ctx context.Context, s Scale) *Table {
 	procs := s.pick(64, 128)
 	pages := arch.DefaultHTABEntries / procs // offer exactly capacity
 	type cfg struct {
@@ -158,7 +159,7 @@ func runSec52(s Scale) *Table {
 		{"tuned scatter, kernel via BAT", vsid.DefaultScatter, false},
 	}
 	rows := make([][]string, len(cases))
-	RowSet(len(cases), func(i int) {
+	RowSet(ctx, len(cases), func(i int) {
 		c := cases[i]
 		ret, occ := sec52Utilization(c.scatter, c.kernel, procs, pages)
 		rows[i] = []string{c.name, scatterName(c.scatter), pct(ret), pct(occ)}
@@ -183,7 +184,7 @@ func runSec52(s Scale) *Table {
 // §6.1 — fast reload handlers
 // ---------------------------------------------------------------------
 
-func runSec61(s Scale) *Table {
+func runSec61(ctx context.Context, s Scale) *Table {
 	base := kernel.Unoptimized()
 	fast := base
 	fast.FastReload = true
@@ -197,7 +198,7 @@ func runSec61(s Scale) *Table {
 	}
 	cfgs := []kernel.Config{base, fast}
 	var res [2][2]float64
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		c, l := run(cfgs[i])
 		res[i] = [2]float64{c, l}
 	})
@@ -224,7 +225,7 @@ func runSec61(s Scale) *Table {
 // §6.2 — removing the hash table on the 603
 // ---------------------------------------------------------------------
 
-func runSec62(s Scale) *Table {
+func runSec62(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(4, 16)
 	cfg.WorkPages = 320
@@ -243,7 +244,7 @@ func runSec62(s Scale) *Table {
 		{clock.PPC604At185(), kernel.Optimized()},
 	}
 	var res [3]kbuild.Result
-	RowSet(len(runs), func(i int) {
+	RowSet(ctx, len(runs), func(i int) {
 		res[i] = kbuild.Run(kernel.New(machine.New(runs[i].model), runs[i].kcfg), cfg)
 	})
 	r1, r2, r3 := res[0], res[1], res[2]
@@ -270,7 +271,7 @@ func runSec62(s Scale) *Table {
 // §7 — lazy flushing
 // ---------------------------------------------------------------------
 
-func runSec7Lazy(s Scale) *Table {
+func runSec7Lazy(ctx context.Context, s Scale) *Table {
 	eager := kernel.Optimized()
 	eager.UseHTAB = true
 	eager.LazyFlush = false
@@ -289,7 +290,7 @@ func runSec7Lazy(s Scale) *Table {
 	}
 	cfgs := []kernel.Config{eager, lazy}
 	var res [2][3]float64
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		m, c, b := run(cfgs[i])
 		res[i] = [3]float64{m, c, b}
 	})
@@ -336,7 +337,7 @@ func sec7Churn(k *kernel.Kernel, tasks []*kernel.Task, img *kernel.Image, rounds
 	}
 }
 
-func runSec7Reclaim(s Scale) *Table {
+func runSec7Reclaim(ctx context.Context, s Scale) *Table {
 	warm := s.pick(30, 100)
 	meas := s.pick(15, 60)
 	const procs, ws = 8, 320
@@ -367,7 +368,7 @@ func runSec7Reclaim(s Scale) *Table {
 		zr        uint64
 	}
 	var res [2]s7
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		ev, occ, live, hit, zr := run(i == 1)
 		res[i] = s7{ev, occ, live, hit, zr}
 	})
@@ -400,7 +401,7 @@ func runSec7Reclaim(s Scale) *Table {
 // §8 — cache misuse on page tables
 // ---------------------------------------------------------------------
 
-func runSec8(s Scale) *Table {
+func runSec8(ctx context.Context, s Scale) *Table {
 	// A TLB-thrashing working set: more pages than TLB entries, so
 	// every pass reloads heavily while the task also has cache-hot
 	// compute data.
@@ -430,7 +431,7 @@ func runSec8(s Scale) *Table {
 		secs        float64
 	}
 	var res [2]s8
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		m, p, t := run(i == 0)
 		res[i] = s8{m, p, t}
 	})
@@ -458,7 +459,7 @@ func runSec8(s Scale) *Table {
 // §9 — idle-task page clearing
 // ---------------------------------------------------------------------
 
-func runSec9(s Scale) *Table {
+func runSec9(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(6, 24)
 	// A hot-set-heavy compile profile with frequent short I/O stalls:
@@ -479,7 +480,7 @@ func runSec9(s Scale) *Table {
 		kernel.IdleClearUncached, kernel.IdleClearUncachedList,
 	}
 	var res [4]kbuild.Result
-	RowSet(len(modes), func(i int) { res[i] = run(modes[i]) })
+	RowSet(ctx, len(modes), func(i int) { res[i] = run(modes[i]) })
 	off, cached, unc, list := res[0], res[1], res[2], res[3]
 	row := func(name string, r kbuild.Result) []string {
 		return []string{

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/arch"
@@ -23,7 +24,7 @@ func init() {
 // are therefore another place "improving hash tables away" shows up.
 // ---------------------------------------------------------------------
 
-func runSwapFlush(s Scale) *Table {
+func runSwapFlush(ctx context.Context, s Scale) *Table {
 	pages := s.pick(8200, 8800)
 	passes := s.pick(2, 3)
 	run := func(useHtab bool) (perPage float64, outs, searches uint64) {
@@ -48,7 +49,7 @@ func runSwapFlush(s Scale) *Table {
 		outs, searches uint64
 	}
 	var rs [2]sfRes
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		pp, o, se := run(i == 0)
 		rs[i] = sfRes{pp, o, se}
 	})
@@ -79,7 +80,7 @@ func runSwapFlush(s Scale) *Table {
 // CPUs with the optimized kernel.
 // ---------------------------------------------------------------------
 
-func runTLBReach(s Scale) *Table {
+func runTLBReach(ctx context.Context, s Scale) *Table {
 	refs := s.pick(30_000, 120_000)
 	sizes := []int{64, 128, 256, 512, 1024}
 	gens := func(pages int) []trace.Generator {
@@ -140,7 +141,7 @@ func runTLBReach(s Scale) *Table {
 	models := []clock.CPUModel{clock.PPC603At180(), clock.PPC604At185()}
 	type cell struct{ miss, cyc float64 }
 	cells := make([]cell, len(models)*len(genNames)*len(sizes))
-	RowSet(len(cells), func(idx int) {
+	RowSet(ctx, len(cells), func(idx int) {
 		mi := idx / (len(genNames) * len(sizes))
 		gi := idx / len(sizes) % len(genNames)
 		pages := sizes[idx%len(sizes)]
@@ -179,7 +180,7 @@ func runTLBReach(s Scale) *Table {
 // is the sweep they skipped.
 // ---------------------------------------------------------------------
 
-func runHTABSize(s Scale) *Table {
+func runHTABSize(ctx context.Context, s Scale) *Table {
 	rounds := s.pick(40, 160)
 	run := func(groups int) (hit float64, evict float64, occPct float64, ramKB int, seconds float64) {
 		cfg := kernel.Optimized()
@@ -216,7 +217,7 @@ func runHTABSize(s Scale) *Table {
 	}
 	sweep := []int{256, 512, 1024, 2048, 4096}
 	rows := make([][]string, len(sweep))
-	RowSet(len(sweep), func(i int) {
+	RowSet(ctx, len(sweep), func(i int) {
 		groups := sweep[i]
 		hit, evict, occ, ramKB, secs := run(groups)
 		label := fmt.Sprintf("%d PTEs (%d KB)", groups*arch.PTEGSize, ramKB)

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/arch"
@@ -21,7 +22,7 @@ func init() {
 
 // runFigure1 walks one address through the architecture of Figure 1,
 // then verifies the hardware model agrees with the arithmetic.
-func runFigure1(Scale) *Table {
+func runFigure1(ctx context.Context, _ Scale) *Table {
 	m := machine.New(clock.PPC604At185())
 	k := kernel.New(m, kernel.Optimized())
 	img := k.LoadImage("fig1", 4)
@@ -90,7 +91,7 @@ func runLmCol(model clock.CPUModel, cfg kernel.Config, s Scale, mmapPages int) l
 	return c
 }
 
-func runTable1(s Scale) *Table {
+func runTable1(ctx context.Context, s Scale) *Table {
 	base := kernel.Optimized()
 	withHtab := base
 	withHtab.UseHTAB = true
@@ -101,7 +102,7 @@ func runTable1(s Scale) *Table {
 		{"604 200MHz", clock.PPC604At200(), base},
 	}
 	res := make([]lmCol, len(cols))
-	RowSet(len(cols), func(i int) {
+	RowSet(ctx, len(cols), func(i int) {
 		res[i] = runLmCol(cols[i].model, cols[i].cfg, s, 0)
 	})
 	headers := []string{"benchmark"}
@@ -144,7 +145,7 @@ func runTable1(s Scale) *Table {
 // milliseconds, as the paper observed.
 const mmapPagesTable2 = 1024
 
-func runTable2(s Scale) *Table {
+func runTable2(ctx context.Context, s Scale) *Table {
 	// The 603 columns use software searches of the hash table (the
 	// paper says so under Table 2); the tuned columns add lazy flushes
 	// and the 20-page range cutoff.
@@ -163,7 +164,7 @@ func runTable2(s Scale) *Table {
 		{"604 185MHz (tune)", clock.PPC604At185(), tuned},
 	}
 	res := make([]lmCol, len(cols))
-	RowSet(len(cols), func(i int) {
+	RowSet(ctx, len(cols), func(i int) {
 		res[i] = runLmCol(cols[i].model, cols[i].cfg, s, mmapPagesTable2)
 	})
 	headers := []string{"benchmark"}
@@ -201,7 +202,7 @@ func runTable2(s Scale) *Table {
 	}
 }
 
-func runTable3(s Scale) *Table {
+func runTable3(ctx context.Context, s Scale) *Table {
 	rows := oscompare.RunTable3(s.pick(40, 200))
 	headers := []string{"OS", "null syscall", "ctx switch", "pipe lat.", "pipe bw"}
 	var out [][]string

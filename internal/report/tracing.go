@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/clock"
@@ -30,7 +31,7 @@ type traceHistRun struct {
 	badRows int
 }
 
-func runTraceHist(s Scale) *Table {
+func runTraceHist(ctx context.Context, s Scale) *Table {
 	cfg := kbuild.Default()
 	cfg.Units = s.pick(2, 8)
 	cfg.WorkPages = 320
@@ -39,7 +40,7 @@ func runTraceHist(s Scale) *Table {
 
 	models := []clock.CPUModel{clock.PPC603At133(), clock.PPC604At185()}
 	var res [2]traceHistRun
-	RowSet(2, func(i int) {
+	RowSet(ctx, 2, func(i int) {
 		m := machine.New(models[i])
 		m.Trc.Enable()
 		before := m.Mon.Snapshot()

@@ -2,6 +2,7 @@ package tracerec
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func record(t *testing.T, opts RecordOptions) *Recording {
 	t.Helper()
-	rec, err := Record(opts)
+	rec, err := Record(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,13 +129,13 @@ func TestDumpFormats(t *testing.T) {
 }
 
 func TestRecordRejectsBadOptions(t *testing.T) {
-	if _, err := Record(RecordOptions{Workload: "nope", CPU: "604/185", Config: "optimized"}); err == nil {
+	if _, err := Record(context.Background(), RecordOptions{Workload: "nope", CPU: "604/185", Config: "optimized"}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if _, err := Record(RecordOptions{Workload: "lmbench", CPU: "bogus", Config: "optimized"}); err == nil {
+	if _, err := Record(context.Background(), RecordOptions{Workload: "lmbench", CPU: "bogus", Config: "optimized"}); err == nil {
 		t.Fatal("unknown cpu accepted")
 	}
-	if _, err := Record(RecordOptions{Workload: "lmbench", CPU: "604/185", Config: "bogus"}); err == nil {
+	if _, err := Record(context.Background(), RecordOptions{Workload: "lmbench", CPU: "604/185", Config: "bogus"}); err == nil {
 		t.Fatal("unknown config accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package tracerec
 
 import (
+	"context"
 	"fmt"
 
 	"mmutricks/internal/arch"
@@ -43,7 +44,7 @@ type RecordOptions struct {
 // the capture. Sections run under report.RowSet, so -j (set via
 // report.SetParallelism) parallelizes across sections while the
 // result, assembled by index, stays byte-identical at any -j.
-func Record(opts RecordOptions) (*Recording, error) {
+func Record(ctx context.Context, opts RecordOptions) (*Recording, error) {
 	model, ok := clock.ModelByName(opts.CPU)
 	if !ok {
 		return nil, fmt.Errorf("tracerec: unknown cpu %q", opts.CPU)
@@ -117,7 +118,7 @@ func Record(opts RecordOptions) (*Recording, error) {
 		Sections: make([]Section, len(runs)),
 	}
 	errs := make([]error, len(runs))
-	report.RowSet(len(runs), func(i int) {
+	report.RowSet(ctx, len(runs), func(i int) {
 		m := machine.NewWithOptions(model, machine.Options{TraceCapacity: opts.Capacity})
 		// Enable before boot and snapshot at the same instant: the
 		// section's counter delta then covers exactly the traced

@@ -8,9 +8,12 @@
 package workpool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -61,22 +64,84 @@ func Acquire() (release func()) {
 	return func() { t <- struct{}{} }
 }
 
+// canceledPhrase is the fixed prefix of Canceled.Error. Callers that
+// receive a row panic re-raised as a formatted string (the RowSet
+// re-raise path) classify it by matching this phrase, so it must not
+// change.
+const canceledPhrase = "workpool: run canceled"
+
+// Canceled is the panic value RowSet raises when its context is done
+// before every row has started: the row set is incomplete, so the
+// harness unit cannot render a result and must degrade to a structured
+// failure. Rows already running are not interrupted — cancellation is
+// cooperative at row granularity.
+type Canceled struct {
+	// Cause is the context's cause (context.Canceled or
+	// context.DeadlineExceeded, or a custom cancel cause).
+	Cause error
+}
+
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("%s: %v", canceledPhrase, c.Cause)
+}
+
+// IsCanceled reports whether a contained panic value is a RowSet
+// cancellation — either the *Canceled value itself or its fixed
+// phrase inside a re-raised row-panic string. timeout reports whether
+// the cause was a deadline rather than an explicit cancel.
+func IsCanceled(p any) (canceled, timeout bool) {
+	if c, ok := p.(*Canceled); ok {
+		return true, errors.Is(c.Cause, context.DeadlineExceeded)
+	}
+	s := fmt.Sprint(p)
+	if !strings.Contains(s, canceledPhrase) {
+		return false, false
+	}
+	return true, strings.Contains(s, context.DeadlineExceeded.Error())
+}
+
 // RowSet runs fn(0..n-1) — independent rows of one harness unit —
 // concurrently on whatever tokens are idle, running the remainder
 // inline on the calling goroutine. A panic in any row is re-raised on
 // the calling goroutine (annotated with the row's stack), so the
 // caller's own panic containment still works.
-func RowSet(n int, fn func(i int)) {
+//
+// Cancellation is cooperative at row granularity: before each row is
+// started (dispatched or inline) the context is checked, and once it
+// is done no further rows start. Rows already running finish normally
+// (their cycle-budget watchdog bounds them). If any row was skipped,
+// RowSet panics with *Canceled after the running rows complete, so an
+// incomplete row set can never be mistaken for a finished one. A nil
+// context means Background, and an uncancelled run is byte-identical
+// to the pre-context behavior at any pool size.
+func RowSet(ctx context.Context, n int, fn func(i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				panic(&Canceled{Cause: context.Cause(ctx)})
+			}
 			fn(i)
 		}
 		return
 	}
 	t := pool()
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	var panicked atomic.Pointer[rowPanic]
+	skipped := false
 	for i := 0; i < n; i++ {
+		if skipped {
+			break
+		}
+		select {
+		case <-done:
+			skipped = true
+			continue
+		default:
+		}
 		select {
 		case <-t:
 			wg.Add(1)
@@ -97,6 +162,9 @@ func RowSet(n int, fn func(i int)) {
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
 		panic(fmt.Sprintf("%v\nrow goroutine stack:\n%s", p.val, p.stack))
+	}
+	if skipped {
+		panic(&Canceled{Cause: context.Cause(ctx)})
 	}
 }
 

@@ -4,8 +4,12 @@
 # noalloc, determinism zones, counter↔trace parity, model↔kernel
 # transition parity), the full test suite under the race detector, and
 # the mmumodel gates (exhaustive exploration of the context-switch/MM
-# state machine plus a kernel refinement pass). CI and `make check`
-# both run exactly this script. The test suite includes the
+# state machine plus a kernel refinement pass), and the CLI exit-code
+# gates (quick mmureport -all and an mmuchaos escalate soak, whose
+# distinct exit codes — 3 cycle-budget, 4 panic, 5 audit — propagate
+# as this script's own exit status instead of collapsing to 1). CI
+# and `make check` both run exactly this script. The test suite
+# includes the
 # fault-injection and chaos-soak audits (internal/faultinject,
 # internal/chaos, internal/kernel machine-check tests), so passing
 # this gate also certifies the machine-check recovery identities.
@@ -41,5 +45,28 @@ go run ./cmd/mmumodel -cpus 2 -tasks 3 -mms 2 -gens 2
 
 echo '== mmumodel: kernel refinement (seeded walks at N=1)'
 go run ./cmd/mmumodel -refine -tasks 3 -mms 2 -gens 3 -walks 25 -steps 60
+
+# The CLI exit-code contract (internal/exitcode): a degraded registry
+# run or a failed chaos audit must surface as its own code — 3 for
+# cycle-budget, 4 for panic, 5 for audit failure — and this gate
+# propagates that code instead of collapsing every failure to 1, so
+# the caller (CI, a bisect script) can tell a hung experiment from a
+# crashed one without parsing logs.
+echo '== mmureport -all exit-code contract (quick registry)'
+rc=0
+go run ./cmd/mmureport -all -quick >/dev/null || rc=$?
+if [ "$rc" -ne 0 ]; then
+	echo "check: mmureport -all exited $rc (3=cycle-budget, 4=panic, 1=other)" >&2
+	exit "$rc"
+fi
+
+echo '== mmuchaos exit-code contract (escalate soak)'
+rc=0
+go run ./cmd/mmuchaos -workload escalate -iters 60 \
+	-schedule 'seed=7 rate=20000ppm burst=1 mix=pte-flip:4,tlb-flip:1' >/dev/null || rc=$?
+if [ "$rc" -ne 0 ]; then
+	echo "check: mmuchaos exited $rc (5=audit failure, 1=harness error)" >&2
+	exit "$rc"
+fi
 
 echo 'check: all gates passed'

@@ -122,11 +122,14 @@ func checkRegister(pass *analysis.Pass, call *ast.CallExpr, inInit bool, seen ma
 }
 
 // checkRowSet enforces index-stable writes inside the RowSet closure.
+// The closure is RowSet's final argument (after the context and row
+// count); taking the last argument also keeps the analyzer working on
+// fixture packages that mirror the pre-context two-argument shape.
 func checkRowSet(pass *analysis.Pass, call *ast.CallExpr) {
-	if len(call.Args) != 2 {
+	if len(call.Args) < 2 {
 		return
 	}
-	fn, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+	fn, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
 	if !ok {
 		return // a named function gets no captured-variable scrutiny here
 	}

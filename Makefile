@@ -17,8 +17,10 @@ lint:
 
 # prove runs the mmuprove whole-program proof passes: transitive
 # noalloc over the call graph, determinism of byte-identical-output
-# packages, hwmon↔mmtrace parity, and model↔kernel transition parity.
-# check runs this too.
+# packages, hwmon↔mmtrace parity, model↔kernel transition parity,
+# phase-span balance, the guardedby mutex discipline (every annotated
+# field access provably under its lock), and the lockorder pinned
+# acquisition DAG. check runs this too.
 prove:
 	go run ./cmd/mmuprove ./...
 

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 
 	"mmutricks/internal/ablate"
 	"mmutricks/internal/clock"
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/kbuild"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/machine"
@@ -29,6 +31,19 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	// Contain a crashed or budget-tripped run and classify it through
+	// the repo-wide exit-code contract instead of dying with status 2.
+	defer func() {
+		if p := recover(); p != nil {
+			reason := report.FailureReason(p)
+			fmt.Fprintf(os.Stderr, "ablate: FAILED(%s): %v\n%s", reason, p, debug.Stack())
+			code = exitcode.ForFailReasons([]string{reason})
+		}
+	}()
 	var (
 		cpu    = flag.String("cpu", "603/180", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
 		units  = flag.Int("units", 4, "compile units per measured run (14 runs total)")
@@ -40,7 +55,7 @@ func main() {
 	model, ok := clock.ModelByName(*cpu)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ablate: unknown cpu %q\n", *cpu)
-		os.Exit(1)
+		return exitcode.Usage
 	}
 	bcfg := kbuild.Default()
 	bcfg.Units = *units
@@ -61,4 +76,5 @@ func main() {
 	fmt.Println("subsumed by the rest of the stack — §5.1's \"nearly all the measured")
 	fmt.Println("performance improvements ... evaporated when TLB miss handling was")
 	fmt.Println("optimized\", measured.")
+	return exitcode.OK
 }

@@ -12,15 +12,33 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 
 	"mmutricks/internal/clock"
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/kbuild"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/machine"
+	"mmutricks/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	// Contain a crashed or budget-tripped run and classify it through
+	// the repo-wide exit-code contract instead of dying with status 2.
+	// The recover defer is declared first so the profile-flushing defers
+	// below still run during unwinding before the code is chosen.
+	defer func() {
+		if p := recover(); p != nil {
+			reason := report.FailureReason(p)
+			fmt.Fprintf(os.Stderr, "kcompile: FAILED(%s): %v\n%s", reason, p, debug.Stack())
+			code = exitcode.ForFailReasons([]string{reason})
+		}
+	}()
 	var (
 		cpu        = flag.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
 		cfgName    = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
@@ -37,12 +55,12 @@ func main() {
 	model, ok := clock.ModelByName(*cpu)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "kcompile: unknown cpu %q\n", *cpu)
-		os.Exit(1)
+		return exitcode.Usage
 	}
 	cfg, ok := kernel.Named(*cfgName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "kcompile: unknown config %q\n", *cfgName)
-		os.Exit(1)
+		return exitcode.Usage
 	}
 	bcfg := kbuild.Default()
 	bcfg.Units = *units
@@ -53,11 +71,11 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
-			os.Exit(1)
+			return exitcode.Internal
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "kcompile: %v\n", err)
-			os.Exit(1)
+			return exitcode.Internal
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -101,4 +119,5 @@ func main() {
 	if *profile {
 		fmt.Printf("\nkernel-path profile:\n%s", k.Profile().String())
 	}
+	return exitcode.OK
 }

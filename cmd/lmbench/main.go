@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 
 	"mmutricks/internal/clock"
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/hwmon"
 	"mmutricks/internal/kernel"
 	"mmutricks/internal/lmbench"
@@ -30,6 +32,19 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	// Contain a crashed or budget-tripped run and classify it through
+	// the repo-wide exit-code contract instead of dying with status 2.
+	defer func() {
+		if p := recover(); p != nil {
+			reason := report.FailureReason(p)
+			fmt.Fprintf(os.Stderr, "lmbench: FAILED(%s): %v\n%s", reason, p, debug.Stack())
+			code = exitcode.ForFailReasons([]string{reason})
+		}
+	}()
 	var (
 		cpu      = flag.String("cpu", "604/185", "CPU model: 603/133, 603/180, 604/133, 604/185, 604/200")
 		cfgName  = flag.String("config", "optimized", "kernel config: unoptimized, optimized, optimized+htab")
@@ -43,12 +58,12 @@ func main() {
 	model, ok := clock.ModelByName(*cpu)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "lmbench: unknown cpu %q\n", *cpu)
-		os.Exit(1)
+		return exitcode.Usage
 	}
 	cfg, ok := kernel.Named(*cfgName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "lmbench: unknown config %q\n", *cfgName)
-		os.Exit(1)
+		return exitcode.Usage
 	}
 	report.SetParallelism(*j)
 
@@ -98,6 +113,7 @@ func main() {
 		}
 		fmt.Printf("\n%s", total.String())
 	}
+	return exitcode.OK
 }
 
 func max(a, b int) int {

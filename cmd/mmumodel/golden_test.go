@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strconv"
 	"testing"
+
+	"mmutricks/internal/exitcode"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden counterexample")
@@ -21,8 +23,8 @@ var update = flag.Bool("update", false, "rewrite the golden counterexample")
 // conscious `go test ./cmd/mmumodel -update` away, not an accident.
 func TestCounterexampleGolden(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-mutate", "skip-unuse-put", "-j", "3"}, &stdout, &stderr); code != 1 {
-		t.Fatalf("exit %d, want 1 (violation); stderr: %s", code, stderr.String())
+	if code := run([]string{"-mutate", "skip-unuse-put", "-j", "3"}, &stdout, &stderr); code != exitcode.AuditFailure {
+		t.Fatalf("exit %d, want %d (violation); stderr: %s", code, exitcode.AuditFailure, stderr.String())
 	}
 	golden := filepath.Join("testdata", "counterexample.golden")
 	if *update {
@@ -48,7 +50,7 @@ func TestGoldenAtAnyWorkerCount(t *testing.T) {
 	}
 	for _, j := range []int{1, 2, runtime.NumCPU()} {
 		var stdout, stderr bytes.Buffer
-		if code := run([]string{"-mutate", "skip-unuse-put", "-j", strconv.Itoa(j)}, &stdout, &stderr); code != 1 {
+		if code := run([]string{"-mutate", "skip-unuse-put", "-j", strconv.Itoa(j)}, &stdout, &stderr); code != exitcode.AuditFailure {
 			t.Fatalf("-j %d: exit %d; stderr: %s", j, code, stderr.String())
 		}
 		if !bytes.Equal(stdout.Bytes(), want) {
@@ -87,8 +89,8 @@ func TestCleanExploreExitsZero(t *testing.T) {
 func TestMutantJSONHasCounterexample(t *testing.T) {
 	tmp := filepath.Join(t.TempDir(), "model.json")
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-mutate", "skip-unuse-put", "-o", tmp}, &stdout, &stderr); code != 1 {
-		t.Fatalf("exit %d, want 1", code)
+	if code := run([]string{"-mutate", "skip-unuse-put", "-o", tmp}, &stdout, &stderr); code != exitcode.AuditFailure {
+		t.Fatalf("exit %d, want %d", code, exitcode.AuditFailure)
 	}
 	blob, err := os.ReadFile(tmp)
 	if err != nil {
@@ -107,8 +109,8 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"-refine", "-cpus", "2"},
 	} {
 		var stdout, stderr bytes.Buffer
-		if code := run(args, &stdout, &stderr); code != 2 {
-			t.Errorf("%v: exit %d, want 2", args, code)
+		if code := run(args, &stdout, &stderr); code != exitcode.Usage {
+			t.Errorf("%v: exit %d, want %d", args, code, exitcode.Usage)
 		}
 	}
 }

@@ -5,7 +5,7 @@
 // the abstract N-CPU machine (internal/model), checking the
 // scheduling, mm-refcount, and VSID-generation invariants on each.
 // The result is deterministic at any -j; a violation prints as a
-// minimal replayable action script and exits 1.
+// minimal replayable action script and exits 5.
 //
 // Refinement (-refine): seeded random walks at N=1, each step
 // replayed against a real booted kernel with the abstract states
@@ -18,7 +18,9 @@
 //	go run ./cmd/mmumodel [-cpus N] [-tasks N] [-mms N] [-gens N] [-j N]
 //	    [-mutate name] [-refine] [-walks N] [-steps N] [-seed N] [-o file.json]
 //
-// Exit status: 0 clean, 1 violation/divergence found, 2 usage error.
+// Exit status (the internal/exitcode contract): 0 clean, 5
+// violation/divergence found (an audit failure — the machine ran but
+// its invariants did not hold), 2 usage error, 1 internal error.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"sort"
 	"time"
 
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/model"
 )
 
@@ -81,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outX   = fs.String("o", "", "write a JSON summary to this file")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitcode.Usage
 	}
 	mut, ok := model.MutantByName[*mutate]
 	if !ok {
@@ -91,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sort.Strings(names)
 		fmt.Fprintf(stderr, "mmumodel: unknown mutant %q (have %v)\n", *mutate, names)
-		return 2
+		return exitcode.Usage
 	}
 	p := model.Params{CPUs: *cpus, Tasks: *tasks, MMs: *mms, Gens: *gens}
 	out := output{CPUs: p.CPUs, Tasks: p.Tasks, MMs: p.MMs, Gens: p.Gens, Mutant: mut.String()}
@@ -102,8 +105,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out.Mode = "refine"
 		res, err := model.Refine(p, model.RefineOpts{Walks: *walks, Steps: *steps, Seed: *seed, Mutant: mut})
 		if err != nil {
+			// Refine only fails before the first walk, on parameter
+			// validation: a usage error, not a harness one.
 			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
-			return 2
+			return exitcode.Usage
 		}
 		out.Walks, out.StepsExecuted, out.Seed = res.Walks, res.StepsExecuted, res.Seed
 		if v := res.Violation; v != nil {
@@ -114,8 +119,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out.Mode = "explore"
 		res, err := model.Explore(p, model.ExploreOpts{Workers: *j, Mutant: mut})
 		if err != nil {
+			// Explore only fails before the first state, on parameter
+			// validation: a usage error, not a harness one.
 			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
-			return 2
+			return exitcode.Usage
 		}
 		out.States, out.Transitions, out.Depth = res.States, res.Transitions, res.Depth
 		if v := res.Violation; v != nil {
@@ -129,17 +136,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		blob, err := json.MarshalIndent(&out, "", "  ")
 		if err != nil {
 			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
-			return 2
+			return exitcode.Internal
 		}
 		if err := os.WriteFile(*outX, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintf(stderr, "mmumodel: %v\n", err)
-			return 2
+			return exitcode.Internal
 		}
 	}
 
 	if out.Counterexample != nil {
 		fmt.Fprint(stdout, script)
-		return 1
+		return exitcode.AuditFailure
 	}
 	if out.Mode == "refine" {
 		fmt.Fprintf(stdout, "mmumodel: refine cpus=%d tasks=%d mms=%d gens=%d: %d walks, %d steps replayed, no divergence (%.1fms)\n",

@@ -1,0 +1,27 @@
+// Package locks is the concurrency-proof golden fixture: one
+// unguarded access for guardedby and one unpinned acquisition order
+// for lockorder.
+package locks
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int //mmutricks:guarded-by(mu)
+}
+
+// bare reads box.n without taking the lock.
+func bare(b *box) int { return b.n }
+
+var (
+	first  sync.Mutex
+	second sync.Mutex
+)
+
+// unpinned nests second under first; no AllowedEdges row covers it.
+func unpinned() {
+	first.Lock()
+	second.Lock()
+	second.Unlock()
+	first.Unlock()
+}

@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/report"
 	"mmutricks/internal/telemetry"
 	"mmutricks/internal/tracerec"
@@ -34,7 +35,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: mmustat <record|timeline|phases|diff> [flags]\n")
-	os.Exit(2)
+	os.Exit(exitcode.Usage)
 }
 
 func main() {
@@ -144,7 +145,7 @@ func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fatal(fmt.Errorf("diff needs exactly two recordings"))
+		usageErr(fmt.Errorf("diff needs exactly two recordings"))
 	}
 	a, err := tracerec.Load(fs.Arg(0))
 	if err != nil {
@@ -160,7 +161,7 @@ func cmdDiff(args []string) {
 // load reads the single recording argument of a subcommand.
 func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
 	if fs.NArg() != 1 {
-		fatal(fmt.Errorf("%s needs exactly one recording file", cmd))
+		usageErr(fmt.Errorf("%s needs exactly one recording file", cmd))
 	}
 	rec, err := tracerec.Load(fs.Arg(0))
 	if err != nil {
@@ -171,5 +172,10 @@ func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mmustat: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitcode.Internal)
+}
+
+func usageErr(err error) {
+	fmt.Fprintf(os.Stderr, "mmustat: %v\n", err)
+	os.Exit(exitcode.Usage)
 }

@@ -12,7 +12,7 @@
 // generators) on a freshly booted simulated machine with the mmtrace
 // ring buffer enabled and saves the capture. summarize prints
 // per-event-class cycle histograms, reconciles the trace totals
-// against the hwmon counter deltas (exiting nonzero on mismatch), and
+// against the hwmon counter deltas (exit status 5 on mismatch), and
 // reports hottest pages and TLB-miss inter-arrival times.
 package main
 
@@ -23,13 +23,14 @@ import (
 	"os"
 	"runtime"
 
+	"mmutricks/internal/exitcode"
 	"mmutricks/internal/report"
 	"mmutricks/internal/tracerec"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: mmutrace <record|dump|summarize|diff> [flags]\n")
-	os.Exit(2)
+	os.Exit(exitcode.Usage)
 }
 
 func main() {
@@ -111,8 +112,10 @@ func cmdSummarize(args []string) {
 	fs.Parse(args)
 	rec := load(fs, "summarize")
 	if mismatches := tracerec.Summarize(os.Stdout, rec, *topN); mismatches > 0 {
+		// A failed trace↔counter reconciliation is an audit failure, not
+		// a harness error: the run completed but its books don't balance.
 		fmt.Fprintf(os.Stderr, "mmutrace: %d reconciliation mismatches\n", mismatches)
-		os.Exit(1)
+		os.Exit(exitcode.AuditFailure)
 	}
 }
 
@@ -120,7 +123,7 @@ func cmdDiff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fatal(fmt.Errorf("diff needs exactly two recordings"))
+		usageErr(fmt.Errorf("diff needs exactly two recordings"))
 	}
 	a, err := tracerec.Load(fs.Arg(0))
 	if err != nil {
@@ -136,7 +139,7 @@ func cmdDiff(args []string) {
 // load reads the single recording argument of a subcommand.
 func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
 	if fs.NArg() != 1 {
-		fatal(fmt.Errorf("%s needs exactly one recording file", cmd))
+		usageErr(fmt.Errorf("%s needs exactly one recording file", cmd))
 	}
 	rec, err := tracerec.Load(fs.Arg(0))
 	if err != nil {
@@ -147,5 +150,10 @@ func load(fs *flag.FlagSet, cmd string) *tracerec.Recording {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mmutrace: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitcode.Internal)
+}
+
+func usageErr(err error) {
+	fmt.Fprintf(os.Stderr, "mmutrace: %v\n", err)
+	os.Exit(exitcode.Usage)
 }

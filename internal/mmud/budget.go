@@ -20,9 +20,9 @@ import (
 // the invariant "no attempt ever runs looser than its budget".
 type budgetGuard struct {
 	mu     sync.Mutex
-	active map[uint64]clock.Cycles
-	next   uint64
-	saved  clock.Cycles
+	active map[uint64]clock.Cycles //mmutricks:guarded-by(mu)
+	next   uint64                  //mmutricks:guarded-by(mu)
+	saved  clock.Cycles            //mmutricks:guarded-by(mu)
 }
 
 func newBudgetGuard() *budgetGuard {

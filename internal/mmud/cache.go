@@ -10,8 +10,8 @@ import "sync"
 // restart recomputes, which the determinism contract makes safe.
 type resultCache struct {
 	mu   sync.Mutex
-	m    map[string][]byte
-	hits uint64
+	m    map[string][]byte //mmutricks:guarded-by(mu)
+	hits uint64            //mmutricks:guarded-by(mu)
 }
 
 func newResultCache() *resultCache {

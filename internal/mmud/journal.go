@@ -53,7 +53,7 @@ type journalRecord struct {
 // each so an acknowledged submit survives a crash.
 type Journal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  *os.File //mmutricks:guarded-by(mu)
 }
 
 // ReplayedJob is a submitted-but-never-finished job recovered from

@@ -113,29 +113,29 @@ type stats struct {
 // journal, cache, drain. It is plain library code — cmd/mmud wires it
 // to an HTTP listener and signals.
 type Server struct {
-	cfg Config
+	cfg Config //mmutricks:unsync immutable after New returns
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	jobs       map[string]*Job
-	queue      []*Job
-	clientLoad map[string]int
-	running    int
-	draining   bool
-	seq        uint64
-	st         stats
+	jobs       map[string]*Job //mmutricks:guarded-by(mu)
+	queue      []*Job          //mmutricks:guarded-by(mu)
+	clientLoad map[string]int  //mmutricks:guarded-by(mu)
+	running    int             //mmutricks:guarded-by(mu)
+	draining   bool            //mmutricks:guarded-by(mu)
+	seq        uint64          //mmutricks:guarded-by(mu)
+	st         stats           //mmutricks:guarded-by(mu)
 
-	baseCtx context.Context
-	kill    context.CancelFunc
+	baseCtx context.Context    //mmutricks:unsync immutable after New returns
+	kill    context.CancelFunc //mmutricks:unsync immutable after New returns
 	wg      sync.WaitGroup
 
 	drainGate  sync.Once
-	drainClean bool
+	drainClean bool //mmutricks:unsync written inside drainGate.Do; read only after Drain returns (Once happens-before)
 
-	journal    *Journal
-	cache      *resultCache
-	budgets    *budgetGuard
-	meterStart uint64
+	journal    *Journal     //mmutricks:unsync set in New before publication; Journal locks internally
+	cache      *resultCache //mmutricks:unsync set in New before publication; resultCache locks internally
+	budgets    *budgetGuard //mmutricks:unsync set in New before publication; budgetGuard locks internally
+	meterStart uint64       //mmutricks:unsync set in New before publication, read-only after
 }
 
 // New builds a server, replaying the journal (if configured) into the
@@ -160,14 +160,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = j
-		s.seq = nextSeq
+		s.seq = nextSeq //mmutricks:guardedby-ok constructor: s not yet published, no worker started
 		for _, r := range replayed {
 			job := &Job{ID: r.ID, Seq: r.Seq, Spec: r.Spec, State: StateQueued, CacheKey: r.Spec.CacheKey()}
-			s.jobs[job.ID] = job
-			s.queue = append(s.queue, job)
-			s.clientLoad[job.Spec.Client]++
+			s.jobs[job.ID] = job            //mmutricks:guardedby-ok constructor: s not yet published, no worker started
+			s.queue = append(s.queue, job)  //mmutricks:guardedby-ok constructor: s not yet published, no worker started
+			s.clientLoad[job.Spec.Client]++ //mmutricks:guardedby-ok constructor: s not yet published, no worker started
 		}
-		s.st.Replayed = len(replayed)
+		s.st.Replayed = len(replayed) //mmutricks:guardedby-ok constructor: s not yet published, no worker started
 		if len(replayed) > 0 {
 			s.logf("journal replay: requeued %d unfinished jobs", len(replayed))
 		}

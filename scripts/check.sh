@@ -2,7 +2,9 @@
 # check.sh — the repo's tier-1 gate: build, vet, formatting, the
 # mmulint hygiene suite, the mmuprove whole-program proofs (transitive
 # noalloc, determinism zones, counter↔trace parity, model↔kernel
-# transition parity), the full test suite under the race detector, and
+# transition parity, phase-span balance, the guarded-by mutex
+# discipline, and the pinned lock-acquisition order), the full test
+# suite under the race detector, and
 # the mmumodel gates (exhaustive exploration of the context-switch/MM
 # state machine plus a kernel refinement pass), and the CLI exit-code
 # gates (quick mmureport -all and an mmuchaos escalate soak, whose

@@ -1,0 +1,706 @@
+// Package guardedby proves the mutex discipline the concurrent
+// packages rely on: every struct field annotated
+// //mmutricks:guarded-by(mu) may only be read or written on a path
+// where the named sibling mutex is provably held, every field
+// annotated //mmutricks:atomic may only be touched through sync/atomic,
+// and //mmutricks:unsync <reason> records — with a mandatory audit
+// trail — the fields deliberately outside the lock.
+//
+// Coverage is part of the proof: in any struct that declares a
+// sync.Mutex or sync.RWMutex field (and in any package-level var block
+// that declares one), every other field must carry exactly one of the
+// three annotations. Deleting an annotation is therefore itself a
+// finding, not a silent hole.
+//
+// The held-set analysis (tools/analyzers/lockset) is path-sensitive
+// within a function: Lock/RLock add to the set, Unlock/RUnlock remove,
+// deferred unlocks keep the lock to the end of the body, and branches
+// merge by intersection with terminating paths dropped. Across
+// functions the pass infers entry-held sets for unexported functions as
+// the intersection of the held sets at their intra-package call sites
+// (iterated to a fixpoint), which is how a helper like nextID — only
+// ever called under s.mu — proves clean without annotations on the
+// helper itself. Exported functions and functions used as values get an
+// empty entry set: they can be called from anywhere. Function literals
+// are analyzed with an empty entry set too (a closure body runs later,
+// possibly after the enclosing critical section ended), so a closure
+// that needs the lock must take it itself.
+//
+// RWMutex strength matters: a write (assignment, ++/--, delete, taking
+// the address) requires the exclusive lock; a read is satisfied by
+// either RLock or Lock.
+//
+// Constructor and other pre-publication access is waived per line with
+// //mmutricks:guardedby-ok <reason>.
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/annotation"
+	"mmutricks/tools/analyzers/lockset"
+	"mmutricks/tools/analyzers/noalloc"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "prove every //mmutricks:guarded-by field access holds its mutex and every //mmutricks:atomic access goes through sync/atomic",
+	Run:  run,
+}
+
+// maxRounds bounds the entry-held fixpoint; the sets grow monotonically
+// so this is a backstop, not a tuning knob.
+const maxRounds = 10
+
+// guard describes one annotated field or package-level var.
+type guard struct {
+	mutexName string     // sibling mutex field name, or package var name
+	mutexObj  *types.Var // the mutex object (package vars only)
+	rw        bool       // guarded by an RWMutex
+	owner     string     // owning struct name, "" for package vars
+	name      string     // the guarded field/var's own name
+}
+
+type checker struct {
+	pass *analysis.Pass
+
+	// fieldGuards/varGuards map annotated objects to their guard.
+	fieldGuards map[*types.Var]*guard
+	varGuards   map[*types.Var]*guard
+	// atomics are the //mmutricks:atomic fields and vars.
+	atomics map[*types.Var]bool
+
+	// waived maps file → waived line set (guardedby-ok).
+	waived map[*ast.File]map[int]string
+
+	// writes marks selector/ident occurrences in mutating position.
+	writes map[ast.Node]bool
+	// atomicOK marks occurrences that go through sync/atomic.
+	atomicOK map[ast.Node]bool
+
+	// fns indexes package-local function declarations; entry carries
+	// the inferred entry-held set per function.
+	fns   map[*types.Func]*ast.FuncDecl
+	entry map[*types.Func]lockset.Held
+	// valueUsed marks functions referenced outside call position;
+	// their entry set stays empty.
+	valueUsed map[*types.Func]bool
+
+	reported map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:        pass,
+		fieldGuards: map[*types.Var]*guard{},
+		varGuards:   map[*types.Var]*guard{},
+		atomics:     map[*types.Var]bool{},
+		waived:      map[*ast.File]map[int]string{},
+		writes:      map[ast.Node]bool{},
+		atomicOK:    map[ast.Node]bool{},
+		fns:         map[*types.Func]*ast.FuncDecl{},
+		entry:       map[*types.Func]lockset.Held{},
+		valueUsed:   map[*types.Func]bool{},
+		reported:    map[string]bool{},
+	}
+
+	for _, file := range pass.Files {
+		if c.testFile(file) {
+			continue
+		}
+		waived, malformed := annotation.Waivers(pass.Fset, file, "guardedby-ok")
+		for line := range malformed {
+			pass.Reportf(noalloc.LineStart(pass.Fset, file, line), "mmutricks:guardedby-ok waiver requires a reason")
+		}
+		c.waived[file] = waived
+		c.collectAnnotations(file)
+		c.classify(file)
+		c.indexFuncs(file)
+	}
+
+	if len(c.fieldGuards) == 0 && len(c.varGuards) == 0 && len(c.atomics) == 0 {
+		return nil
+	}
+
+	c.inferEntryHeld()
+	for _, file := range pass.Files {
+		if c.testFile(file) {
+			continue
+		}
+		c.checkFile(file)
+	}
+	return nil
+}
+
+func (c *checker) testFile(file *ast.File) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// collectAnnotations walks the file's type and var declarations,
+// recording guards and enforcing the coverage rule: a mutex-bearing
+// struct (or var block) must annotate every non-sync field.
+func (c *checker) collectAnnotations(file *ast.File) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.TYPE:
+			for _, spec := range gd.Specs {
+				ts, okT := spec.(*ast.TypeSpec)
+				if !okT {
+					continue
+				}
+				if st, okS := ts.Type.(*ast.StructType); okS {
+					c.collectStruct(ts.Name.Name, st)
+				}
+			}
+		case token.VAR:
+			c.collectVarBlock(gd)
+		}
+	}
+}
+
+func (c *checker) collectStruct(name string, st *ast.StructType) {
+	// First pass: find the mutex fields.
+	mutexes := map[string]bool{} // name → isRW
+	rwOf := map[string]bool{}
+	for _, f := range st.Fields.List {
+		tv, ok := c.pass.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if isMutex, rw := lockset.IsMutexType(tv.Type); isMutex {
+			for _, n := range f.Names {
+				mutexes[n.Name] = true
+				rwOf[n.Name] = rw
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		set := annotation.OfField(f.Doc, f.Comment)
+		for _, m := range set.Malformed {
+			c.pass.Reportf(f.Pos(), "malformed annotation on field %s.%s: %s", name, fieldName(f), m)
+		}
+		if set.Count() > 1 {
+			c.pass.Reportf(f.Pos(), "field %s.%s declares more than one concurrency discipline; pick one of guarded-by/atomic/unsync", name, fieldName(f))
+			continue
+		}
+		synced := c.syncTyped(f.Type)
+		if set.Count() == 0 {
+			if len(mutexes) > 0 && !synced && !c.fieldIsMutex(f) {
+				c.pass.Reportf(f.Pos(), "field %s.%s of mutex-bearing struct %s has no concurrency annotation; declare //mmutricks:guarded-by(<mu>), //mmutricks:atomic, or //mmutricks:unsync <reason>", name, fieldName(f), name)
+			}
+			continue
+		}
+		if set.GuardedBy != "" && !mutexes[set.GuardedBy] {
+			c.pass.Reportf(f.Pos(), "field %s.%s is guarded-by(%s) but %s names no sync.Mutex/sync.RWMutex field of %s", name, fieldName(f), set.GuardedBy, set.GuardedBy, name)
+			continue
+		}
+		for _, n := range f.Names {
+			obj, okO := c.pass.Info.Defs[n].(*types.Var)
+			if !okO {
+				continue
+			}
+			switch {
+			case set.GuardedBy != "":
+				c.fieldGuards[obj] = &guard{mutexName: set.GuardedBy, rw: rwOf[set.GuardedBy], owner: name, name: n.Name}
+			case set.Atomic:
+				c.atomics[obj] = true
+			}
+			// unsync: recorded only by its reason in the source.
+		}
+	}
+}
+
+func (c *checker) collectVarBlock(gd *ast.GenDecl) {
+	// Find mutex vars in the block.
+	mutexes := map[string]*types.Var{}
+	rwOf := map[string]bool{}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, n := range vs.Names {
+			obj, okO := c.pass.Info.Defs[n].(*types.Var)
+			if !okO {
+				continue
+			}
+			if isMutex, rw := lockset.IsMutexType(obj.Type()); isMutex {
+				mutexes[n.Name] = obj
+				rwOf[n.Name] = rw
+			}
+		}
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		set := annotation.OfField(vs.Doc, vs.Comment)
+		for _, m := range set.Malformed {
+			c.pass.Reportf(vs.Pos(), "malformed annotation on var %s: %s", specName(vs), m)
+		}
+		if set.Count() > 1 {
+			c.pass.Reportf(vs.Pos(), "var %s declares more than one concurrency discipline; pick one of guarded-by/atomic/unsync", specName(vs))
+			continue
+		}
+		anyMutex := false
+		for _, n := range vs.Names {
+			if _, okM := mutexes[n.Name]; okM {
+				anyMutex = true
+			}
+		}
+		if set.Count() == 0 {
+			if len(mutexes) > 0 && !anyMutex && !c.syncTypedVar(vs) {
+				c.pass.Reportf(vs.Pos(), "var %s shares a declaration block with a mutex but has no concurrency annotation; declare //mmutricks:guarded-by(<mu>), //mmutricks:atomic, or //mmutricks:unsync <reason>", specName(vs))
+			}
+			continue
+		}
+		if set.GuardedBy != "" && mutexes[set.GuardedBy] == nil {
+			c.pass.Reportf(vs.Pos(), "var %s is guarded-by(%s) but %s names no sync.Mutex/sync.RWMutex var in this block", specName(vs), set.GuardedBy, set.GuardedBy)
+			continue
+		}
+		for _, n := range vs.Names {
+			obj, okO := c.pass.Info.Defs[n].(*types.Var)
+			if !okO {
+				continue
+			}
+			switch {
+			case set.GuardedBy != "":
+				c.varGuards[obj] = &guard{mutexName: set.GuardedBy, mutexObj: mutexes[set.GuardedBy], rw: rwOf[set.GuardedBy], name: n.Name}
+			case set.Atomic:
+				c.atomics[obj] = true
+			}
+		}
+	}
+}
+
+// syncTyped reports whether the field type is declared in package sync
+// (Mutex, WaitGroup, Once, Cond, ...); such fields carry their own
+// synchronization and are exempt from the coverage rule.
+func (c *checker) syncTyped(t ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[t]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeFromPkg(tv.Type, "sync")
+}
+
+func (c *checker) syncTypedVar(vs *ast.ValueSpec) bool {
+	for _, n := range vs.Names {
+		if obj := c.pass.Info.Defs[n]; obj != nil && typeFromPkg(obj.Type(), "sync") {
+			return true
+		}
+	}
+	return false
+}
+
+func typeFromPkg(t types.Type, pkg string) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pkg
+}
+
+func (c *checker) fieldIsMutex(f *ast.Field) bool {
+	tv, ok := c.pass.Info.Types[f.Type]
+	if !ok {
+		return false
+	}
+	isMutex, _ := lockset.IsMutexType(tv.Type)
+	return isMutex
+}
+
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		names := make([]string, len(f.Names))
+		for i, n := range f.Names {
+			names[i] = n.Name
+		}
+		return strings.Join(names, ",")
+	}
+	return "(embedded)"
+}
+
+func specName(vs *ast.ValueSpec) string {
+	names := make([]string, len(vs.Names))
+	for i, n := range vs.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// classify precomputes, over the whole file (function literals
+// included), which occurrences sit in mutating position and which go
+// through sync/atomic.
+func (c *checker) classify(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.markWrite(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.markWrite(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					c.markWrite(n.Args[0])
+				}
+			}
+			c.markAtomicCall(n)
+		}
+		return true
+	})
+}
+
+// markWrite marks the selector/ident spine of an assignment target:
+// writing s.st.Failed[k] mutates s.st.Failed, s.st, and (vacuously) s.
+func (c *checker) markWrite(e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			c.writes[x] = true
+			e = x.X
+		case *ast.Ident:
+			c.writes[x] = true
+			return
+		default:
+			return
+		}
+	}
+}
+
+// markAtomicCall marks the two blessed sync/atomic shapes: a method
+// call on an atomic.* typed occurrence, and &occurrence passed to a
+// sync/atomic function.
+func (c *checker) markAtomicCall(call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, okT := c.pass.Info.Types[sel.X]; okT && tv.Type != nil && typeFromPkg(tv.Type, "sync/atomic") {
+			c.atomicOK[ast.Unparen(sel.X)] = true
+		}
+	}
+	if fn := noalloc.CalleeFunc(c.pass.Info, call.Fun); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		for _, a := range call.Args {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				c.atomicOK[ast.Unparen(u.X)] = true
+			}
+		}
+	}
+}
+
+// indexFuncs records the package's function declarations and which
+// functions are referenced as values (entry inference must not trust
+// call sites it cannot see).
+func (c *checker) indexFuncs(file *ast.File) {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			if fn, okF := c.pass.Info.Defs[fd.Name].(*types.Func); okF {
+				c.fns[fn] = fd
+			}
+		}
+	}
+	// A function object used anywhere other than as the operand of a
+	// call is value-used. Walk idents; exempt the ones that are the
+	// callee of an enclosing CallExpr by collecting those first.
+	callee := map[*ast.Ident]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch f := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee[f] = true
+			case *ast.SelectorExpr:
+				callee[f.Sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callee[id] {
+			return true
+		}
+		if fn, okF := c.pass.Info.Uses[id].(*types.Func); okF && fn.Pkg() == c.pass.Pkg {
+			c.valueUsed[fn] = true
+		}
+		return true
+	})
+}
+
+// inferEntryHeld computes, for each unexported package function, the
+// intersection of the mapped held sets over all its intra-package call
+// sites, iterating to a fixpoint.
+func (c *checker) inferEntryHeld() {
+	for round := 0; round < maxRounds; round++ {
+		type acc struct {
+			held lockset.Held
+			seen bool
+		}
+		accum := map[*types.Func]*acc{}
+		record := func(call *ast.CallExpr, held lockset.Held) {
+			callee := noalloc.CalleeFunc(c.pass.Info, call.Fun)
+			if callee == nil || callee.Pkg() != c.pass.Pkg || callee.Exported() || c.valueUsed[callee] {
+				return
+			}
+			decl, okD := c.fns[callee]
+			if !okD {
+				return
+			}
+			mapped := c.mapToCallee(call, decl, held)
+			a := accum[callee]
+			if a == nil {
+				accum[callee] = &acc{held: mapped, seen: true}
+				return
+			}
+			a.held = lockset.Intersect(a.held, mapped)
+		}
+		c.walkAll(lockset.Hooks{OnCall: record})
+
+		changed := false
+		for fn := range c.fns {
+			if fn.Exported() || c.valueUsed[fn] {
+				continue
+			}
+			var next lockset.Held
+			if a := accum[fn]; a != nil {
+				next = a.held
+			} else {
+				next = lockset.Held{}
+			}
+			if !lockset.Equal(c.entry[fn], next) {
+				c.entry[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// walkAll runs the lockset walker over every function declaration (with
+// its inferred entry set) and every function literal (with an empty
+// one) in the package's non-test files.
+func (c *checker) walkAll(hooks lockset.Hooks) {
+	for _, file := range c.pass.Files {
+		if c.testFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, okF := c.pass.Info.Defs[fd.Name].(*types.Func)
+			if !okF {
+				continue
+			}
+			lockset.Walk(c.pass.Info, fd.Body, c.entry[fn], hooks)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lockset.Walk(c.pass.Info, lit.Body, lockset.Held{}, hooks)
+			}
+			return true
+		})
+	}
+}
+
+// mapToCallee translates the caller's held set into the callee's frame:
+// package-var locks pass through; receiver-rooted locks are rebased
+// onto the callee's receiver when the call's receiver chain prefixes
+// them.
+func (c *checker) mapToCallee(call *ast.CallExpr, decl *ast.FuncDecl, held lockset.Held) lockset.Held {
+	out := lockset.Held{}
+	for k, m := range held {
+		if k.Path == "" {
+			out[k] = m
+		}
+	}
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return out
+	}
+	recvObj, okR := c.pass.Info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	if !okR {
+		return out
+	}
+	sel, okS := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okS {
+		return out
+	}
+	base, _, okB := lockset.ExprKey(c.pass.Info, sel.X)
+	if !okB {
+		return out
+	}
+	prefix := base.Path
+	if prefix != "" {
+		prefix += "."
+	}
+	for k, m := range held {
+		if k.Root != base.Root || k.Path == "" {
+			continue
+		}
+		rest, okP := strings.CutPrefix(k.Path, prefix)
+		if !okP || rest == "" {
+			continue
+		}
+		out[lockset.Key{Root: recvObj, Path: rest}] = m
+	}
+	return out
+}
+
+// checkFile is the reporting pass: every occurrence of a guarded field
+// must hold its mutex at sufficient strength, every atomic field must
+// go through sync/atomic.
+func (c *checker) checkFile(file *ast.File) {
+	waived := c.waived[file]
+	hooks := lockset.Hooks{
+		OnNode: func(n ast.Node, held lockset.Held) {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				c.checkSelector(file, waived, n, held)
+			case *ast.Ident:
+				c.checkIdent(file, waived, n, held)
+			}
+		},
+	}
+	// Restrict the walk to this file's functions.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, okF := c.pass.Info.Defs[fd.Name].(*types.Func)
+		if !okF {
+			continue
+		}
+		lockset.Walk(c.pass.Info, fd.Body, c.entry[fn], hooks)
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lockset.Walk(c.pass.Info, lit.Body, lockset.Held{}, hooks)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkSelector(file *ast.File, waived map[int]string, sel *ast.SelectorExpr, held lockset.Held) {
+	selinfo, ok := c.pass.Info.Selections[sel]
+	if !ok || selinfo.Kind() != types.FieldVal {
+		return
+	}
+	obj, okV := selinfo.Obj().(*types.Var)
+	if !okV {
+		return
+	}
+	if c.atomics[obj] {
+		c.checkAtomicUse(sel, obj)
+		return
+	}
+	g, okG := c.fieldGuards[obj]
+	if !okG {
+		return
+	}
+	key, _, okK := lockset.ExprKey(c.pass.Info, sel)
+	write := c.writes[sel]
+	if !okK {
+		c.reportAccess(file, waived, sel.Pos(), g, write, "the access path is not a plain selector chain, so the lock instance cannot be resolved")
+		return
+	}
+	// Rebase the guarded field's key onto its sibling mutex.
+	dir := ""
+	if i := strings.LastIndex(key.Path, "."); i >= 0 {
+		dir = key.Path[:i+1]
+	}
+	mutexKey := lockset.Key{Root: key.Root, Path: dir + g.mutexName}
+	mode, heldOK := held[mutexKey]
+	if heldOK && (!write || mode == lockset.Exclusive) {
+		return
+	}
+	why := fmt.Sprintf("%s is not held", mutexKey)
+	if heldOK {
+		why = fmt.Sprintf("%s is only read-locked and this is a write", mutexKey)
+	}
+	c.reportAccess(file, waived, sel.Pos(), g, write, why)
+}
+
+func (c *checker) checkIdent(file *ast.File, waived map[int]string, id *ast.Ident, held lockset.Held) {
+	obj, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if c.atomics[obj] && obj.Pkg() == c.pass.Pkg && !obj.IsField() && isPackageLevel(obj, c.pass.Pkg) {
+		c.checkAtomicUse(id, obj)
+		return
+	}
+	g, okG := c.varGuards[obj]
+	if !okG {
+		return
+	}
+	mutexKey := lockset.Key{Root: g.mutexObj, Path: ""}
+	write := c.writes[id]
+	mode, heldOK := held[mutexKey]
+	if heldOK && (!write || mode == lockset.Exclusive) {
+		return
+	}
+	why := fmt.Sprintf("%s is not held", g.mutexName)
+	if heldOK {
+		why = fmt.Sprintf("%s is only read-locked and this is a write", g.mutexName)
+	}
+	c.reportAccess(file, waived, id.Pos(), g, write, why)
+}
+
+func isPackageLevel(v *types.Var, pkg *types.Package) bool {
+	return pkg.Scope().Lookup(v.Name()) == v
+}
+
+func (c *checker) checkAtomicUse(n ast.Node, obj *types.Var) {
+	if c.atomicOK[n] {
+		return
+	}
+	pos := n.Pos()
+	keyStr := fmt.Sprintf("%d:atomic:%s", pos, obj.Name())
+	if c.reported[keyStr] {
+		return
+	}
+	c.reported[keyStr] = true
+	c.pass.Reportf(pos, "%s is //mmutricks:atomic but this access does not go through sync/atomic (call a method of its atomic.* type or pass &%s to a sync/atomic function)", obj.Name(), obj.Name())
+}
+
+func (c *checker) reportAccess(file *ast.File, waived map[int]string, pos token.Pos, g *guard, write bool, why string) {
+	line := c.pass.Fset.Position(pos).Line
+	if _, ok := waived[line]; ok {
+		return
+	}
+	kind := "read"
+	if write {
+		kind = "write"
+	}
+	target := g.name
+	if g.owner != "" {
+		target = g.owner + "." + g.name
+	}
+	keyStr := fmt.Sprintf("%d:%s:%s", pos, kind, target)
+	if c.reported[keyStr] {
+		return
+	}
+	c.reported[keyStr] = true
+	c.pass.Reportf(pos, "%s of %s without holding %s: %s (field is //mmutricks:guarded-by(%s); waive pre-publication access with //mmutricks:guardedby-ok <reason>)", kind, target, g.mutexName, why, g.mutexName)
+}

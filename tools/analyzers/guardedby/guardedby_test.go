@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "locks")
+}

@@ -1,0 +1,236 @@
+// Package locks is the guardedby fixture: the held-set shapes the
+// analyzer must prove clean (all-paths locking, deferred unlock,
+// early unlock-and-return, inferred helper entry sets, RLock reads)
+// and the violations it must catch.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter is the basic mutex-bearing struct: every non-sync field
+// declares its discipline.
+type counter struct {
+	mu   sync.Mutex
+	n    int           //mmutricks:guarded-by(mu)
+	hits uint64        //mmutricks:atomic
+	gen  atomic.Uint64 //mmutricks:atomic
+	name string        //mmutricks:unsync immutable after construction
+}
+
+// incrBranchy holds the lock on every path into the access.
+func (c *counter) incrBranchy(fast bool) {
+	if fast {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// incrDeferred: a deferred unlock keeps the lock to the end of the body.
+func (c *counter) incrDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// get: the early unlock-and-return path terminates, so it drops out of
+// the merge and the tail access still proves locked.
+func (c *counter) get(quick bool) int {
+	c.mu.Lock()
+	if quick {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	n := c.n * 2
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) bare() int {
+	return c.n // want `read of counter\.n without holding mu`
+}
+
+func (c *counter) releasedTooSoon() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n = 0 // want `write of counter\.n without holding mu`
+}
+
+func (c *counter) oneBranch(fast bool) {
+	if fast {
+		c.mu.Lock()
+	}
+	c.n++ // want `write of counter\.n without holding mu`
+	if fast {
+		c.mu.Unlock()
+	}
+}
+
+// bump is unexported and every call site holds c.mu, so its inferred
+// entry set carries the lock and the access proves clean.
+func (c *counter) bump(by int) {
+	c.n += by
+}
+
+func (c *counter) incrViaHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump(1)
+}
+
+func (c *counter) incrViaHelperAgain() {
+	c.mu.Lock()
+	c.bump(2)
+	c.mu.Unlock()
+}
+
+// leak has one unlocked call site, so its inferred entry set is empty.
+func (c *counter) leak() {
+	c.n++ // want `write of counter\.n without holding mu`
+}
+
+func (c *counter) callsLeakUnlocked() {
+	c.leak()
+}
+
+func (c *counter) callsLeakLocked() {
+	c.mu.Lock()
+	c.leak()
+	c.mu.Unlock()
+}
+
+// sneaky's only call site holds the lock, but the method is also taken
+// as a value below, so the inference must not trust the call sites.
+func (c *counter) sneaky() {
+	c.n++ // want `write of counter\.n without holding mu`
+}
+
+func (c *counter) callsSneakyLocked() {
+	c.mu.Lock()
+	c.sneaky()
+	c.mu.Unlock()
+}
+
+var hook = (*counter).sneaky
+
+// newCounter: constructor access is waived per line, pre-publication.
+func newCounter(name string) *counter {
+	c := &counter{name: name}
+	c.n = 1 //mmutricks:guardedby-ok constructor: not yet published
+	return c
+}
+
+func newCounterUnwaived() *counter {
+	c := &counter{}
+	c.n = 2 // want `write of counter\.n without holding mu`
+	return c
+}
+
+// async: a goroutine body runs after the critical section; the closure
+// starts with an empty held set.
+func (c *counter) async() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write of counter\.n without holding mu`
+	}()
+}
+
+// closureRelocks: a closure that takes the lock itself proves clean.
+func (c *counter) closureRelocks() func() {
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}
+}
+
+// loopRelease: the lock is gone on the second iteration; the two-pass
+// loop interpretation catches it.
+func (c *counter) loopRelease(xs []int) {
+	c.mu.Lock()
+	for range xs {
+		c.n++ // want `write of counter\.n without holding mu`
+		c.mu.Unlock()
+	}
+}
+
+// hit and bumpGen are the blessed sync/atomic shapes.
+func (c *counter) hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) bumpGen() uint64 {
+	c.gen.Add(1)
+	return c.gen.Load()
+}
+
+func (c *counter) hitBad() {
+	c.hits++ // want `hits is //mmutricks:atomic but this access does not go through sync/atomic`
+}
+
+func (c *counter) readGenBad() uint64 {
+	g := c.gen // want `gen is //mmutricks:atomic but this access does not go through sync/atomic`
+	return g.Load()
+}
+
+// table exercises RWMutex strength: RLock satisfies reads only.
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int //mmutricks:guarded-by(rw)
+}
+
+func (t *table) lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) store(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = 1
+}
+
+func (t *table) storeUnderRLock(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = 1 // want `write of table\.m without holding rw: .*only read-locked`
+}
+
+// sloppy exercises the coverage and validation diagnostics.
+type sloppy struct {
+	mu sync.Mutex
+	a  int // want `field sloppy\.a of mutex-bearing struct sloppy has no concurrency annotation`
+	//mmutricks:guarded-by(missing)
+	b int // want `guarded-by\(missing\) but missing names no sync\.Mutex`
+	//mmutricks:guarded-by(mu)
+	//mmutricks:atomic
+	e int // want `declares more than one concurrency discipline`
+	//mmutricks:guarded-by
+	g  int //mmutricks:unsync covered by the malformed directive above // want `malformed annotation on field`
+	wg sync.WaitGroup
+}
+
+// Package-level var blocks follow the same coverage rule.
+var (
+	tblMu sync.Mutex
+	tbl   = map[string]int{} //mmutricks:guarded-by(tblMu)
+	size  int                // want `var size shares a declaration block with a mutex but has no concurrency annotation`
+)
+
+func addRow(k string) {
+	tblMu.Lock()
+	tbl[k] = 1
+	size++
+	tblMu.Unlock()
+}
+
+func rowsBad() int {
+	return len(tbl) // want `read of tbl without holding tblMu`
+}

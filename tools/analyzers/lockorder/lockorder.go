@@ -1,0 +1,383 @@
+// Package lockorder pins the repo's lock-acquisition order as a
+// checked DAG. A lock class is a mutex declaration site
+// ("path/to/pkg.Type.field" or "path/to/pkg.var"); an edge From→To
+// means a thread may acquire a To lock while holding a From lock. The
+// pass walks every function with the lockset interpreter, records each
+// acquisition made while something is held — descending through static
+// callees across package boundaries, the call-graph machinery
+// noalloctrans and transitions already use — and requires every
+// observed edge to appear in AllowedEdges or carry a
+// //mmutricks:lockorder-ok line waiver.
+//
+// The checks, per analyzed package:
+//
+//   - An acquisition of a lock class while an instance of the same
+//     class is held is reported outright (self-deadlock when it is the
+//     same instance; an intra-class order nobody audits when it is
+//     not). Waivable per line.
+//   - An observed edge absent from AllowedEdges is reported at the
+//     acquisition site: extend the table (keeping it acyclic — the
+//     unit test enforces that) or waive the line.
+//   - A table edge whose From class is declared in this package but
+//     which no code path exhibits anymore is reported as stale, so the
+//     table never outlives the code it pins.
+//   - A waived edge that completes a cycle with the table is still
+//     reported: waivers exempt an edge from the table, not from
+//     deadlock-freedom.
+//
+// Calls launched by `go` do not contribute edges (the callee runs
+// concurrently, not nested), and function literals are analyzed as
+// their own roots with nothing held.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"mmutricks/tools/analyzers/analysis"
+	"mmutricks/tools/analyzers/annotation"
+	"mmutricks/tools/analyzers/lockset"
+	"mmutricks/tools/analyzers/noalloc"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "pin the static lock-acquisition graph as a checked DAG: every nested acquisition must follow a pinned edge, and the pinned edges must stay cycle-free",
+	Run:  run,
+}
+
+// Edge allows acquiring To while holding From.
+type Edge struct {
+	From, To string
+}
+
+// AllowedEdges is the pinned acquisition order, the DAG this pass
+// checks reality against. Grow it deliberately: the unit test keeps it
+// acyclic, and the stale-entry check deletes rows the code no longer
+// exhibits. Today's order: mmud's Server.mu wraps its result cache's
+// lock (Submit consults the cache, settle and Stats update it, all
+// under the server lock); the journal and budget locks never nest.
+var AllowedEdges = []Edge{
+	{From: "mmutricks/internal/mmud.Server.mu", To: "mmutricks/internal/mmud.resultCache.mu"},
+}
+
+type checker struct {
+	pass *analysis.Pass
+
+	// acquires memoizes the transitive lock classes a function takes,
+	// across package boundaries. state is the DFS cycle cut.
+	acquired map[*types.Func]map[string]bool
+	state    map[*types.Func]int
+
+	// classOf names the class of each lock instance seen acquired.
+	classOf map[lockset.Key]string
+
+	// observed maps each edge seen in this package to its acquisition
+	// positions (an edge can be waived at one site and not another).
+	observed map[Edge][]token.Pos
+	seenAt   map[string]bool
+
+	// waived maps "file:line" of lockorder-ok waivers.
+	waived map[string]bool
+
+	reported map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		acquired: map[*types.Func]map[string]bool{},
+		state:    map[*types.Func]int{},
+		classOf:  map[lockset.Key]string{},
+		observed: map[Edge][]token.Pos{},
+		seenAt:   map[string]bool{},
+		waived:   map[string]bool{},
+		reported: map[string]bool{},
+	}
+
+	for _, file := range pass.Files {
+		if c.testFile(file) {
+			continue
+		}
+		waived, malformed := annotation.Waivers(pass.Fset, file, "lockorder-ok")
+		for line := range malformed {
+			pass.Reportf(noalloc.LineStart(pass.Fset, file, line), "mmutricks:lockorder-ok waiver requires a reason")
+		}
+		fname := pass.Fset.Position(file.Pos()).Filename
+		for line := range waived {
+			c.waived[posKey(fname, line)] = true
+		}
+	}
+
+	hooks := lockset.Hooks{
+		OnAcquire: c.onAcquire,
+		OnCall:    c.onCall,
+	}
+	for _, file := range pass.Files {
+		if c.testFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lockset.Walk(pass.Info, fd.Body, lockset.Held{}, hooks)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lockset.Walk(pass.Info, lit.Body, lockset.Held{}, hooks)
+			}
+			return true
+		})
+	}
+
+	c.check()
+	return nil
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func (c *checker) testFile(file *ast.File) bool {
+	return strings.HasSuffix(c.pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+func (c *checker) isWaived(pos token.Pos) bool {
+	p := c.pass.Fset.Position(pos)
+	return c.waived[posKey(p.Filename, p.Line)]
+}
+
+// onAcquire records edges from every held lock to the directly
+// acquired one.
+func (c *checker) onAcquire(call *ast.CallExpr, k lockset.Key, class string, m lockset.Mode, held lockset.Held) {
+	if class == "" {
+		return
+	}
+	c.classOf[k] = class
+	for hk := range held {
+		c.edge(c.classOf[hk], class, call.Pos())
+	}
+}
+
+// onCall records edges from every held lock to everything the static
+// callee transitively acquires.
+func (c *checker) onCall(call *ast.CallExpr, held lockset.Held) {
+	if len(held) == 0 {
+		return
+	}
+	callee := noalloc.CalleeFunc(c.pass.Info, call.Fun)
+	if callee == nil {
+		return
+	}
+	acq := c.transAcquired(callee)
+	if len(acq) == 0 {
+		return
+	}
+	classes := make([]string, 0, len(acq))
+	for a := range acq {
+		classes = append(classes, a)
+	}
+	sort.Strings(classes)
+	for hk := range held {
+		for _, a := range classes {
+			c.edge(c.classOf[hk], a, call.Pos())
+		}
+	}
+}
+
+// edge records one from→to observation, reporting self-edges outright.
+func (c *checker) edge(from, to string, pos token.Pos) {
+	if from == "" || to == "" {
+		return
+	}
+	if from == to {
+		if c.isWaived(pos) {
+			return
+		}
+		c.reportOnce(pos, "self:"+from, "acquires %s while an instance of the same lock class is already held: self-deadlock when it is the same instance, an unaudited intra-class order otherwise (waive //mmutricks:lockorder-ok <reason> if provably distinct and ordered)", to)
+		return
+	}
+	e := Edge{From: from, To: to}
+	at := from + "->" + to + "@" + itoa(int(pos))
+	if c.seenAt[at] {
+		return
+	}
+	c.seenAt[at] = true
+	c.observed[e] = append(c.observed[e], pos)
+}
+
+// transAcquired computes the set of lock classes fn acquires,
+// transitively through static callees, across package boundaries.
+// FuncLit bodies and `go` statements inside fn do not count: they run
+// at another time or on another goroutine.
+func (c *checker) transAcquired(fn *types.Func) map[string]bool {
+	if acq, ok := c.acquired[fn]; ok {
+		return acq
+	}
+	if c.state[fn] == 1 {
+		return nil // recursion: the cycle's edges are found at its sites
+	}
+	c.state[fn] = 1
+	acq := map[string]bool{}
+	decl, _, info := c.pass.Module.FuncSource(fn)
+	if decl == nil || decl.Body == nil || info == nil {
+		c.state[fn] = 2
+		c.acquired[fn] = acq
+		return acq
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if _, class, op, ok := lockset.MutexOp(info, n); op != lockset.OpNone {
+				if ok && (op == lockset.OpLock || op == lockset.OpRLock) && class != "" {
+					acq[class] = true
+				}
+				return true
+			}
+			if callee := noalloc.CalleeFunc(info, n.Fun); callee != nil {
+				for a := range c.transAcquired(callee) {
+					acq[a] = true
+				}
+			}
+		}
+		return true
+	})
+	c.state[fn] = 2
+	c.acquired[fn] = acq
+	return acq
+}
+
+// check reconciles the observations with the pinned table.
+func (c *checker) check() {
+	allowed := map[Edge]bool{}
+	for _, e := range AllowedEdges {
+		allowed[e] = true
+	}
+
+	// Deterministic order over the observed edges.
+	edges := make([]Edge, 0, len(c.observed))
+	for e := range c.observed {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+
+	// Every observed acquisition site must follow a pinned edge or be
+	// waived; waived sites join the cycle check below.
+	type waivedSite struct {
+		e   Edge
+		pos token.Pos
+	}
+	var waivedEdges []waivedSite
+	for _, e := range edges {
+		if allowed[e] {
+			continue
+		}
+		for _, pos := range c.observed[e] {
+			if c.isWaived(pos) {
+				waivedEdges = append(waivedEdges, waivedSite{e, pos})
+				continue
+			}
+			c.reportOnce(pos, "edge:"+e.From+"->"+e.To,
+				"acquiring %s while holding %s is not in the pinned lock order; add the edge to tools/analyzers/lockorder.AllowedEdges (the unit test keeps it acyclic) or waive //mmutricks:lockorder-ok <reason>", e.To, e.From)
+		}
+	}
+
+	// Stale table rows: a pinned edge whose From class lives in this
+	// package must still be exhibited by some code path.
+	pkg := c.pass.Pkg.Path()
+	for _, e := range AllowedEdges {
+		if classPkg(e.From) != pkg {
+			continue
+		}
+		if _, ok := c.observed[e]; !ok {
+			c.reportOnce(c.pass.Files[0].Name.Pos(), "stale:"+e.From+"->"+e.To,
+				"pinned lock-order edge %s -> %s is no longer exhibited by any code path in %s; delete the stale AllowedEdges row", e.From, e.To, pkg)
+		}
+	}
+
+	// A waiver exempts an edge from the table, not from acyclicity.
+	if len(waivedEdges) > 0 {
+		graph := map[string][]string{}
+		for _, e := range AllowedEdges {
+			graph[e.From] = append(graph[e.From], e.To)
+		}
+		for _, w := range waivedEdges {
+			graph[w.e.From] = append(graph[w.e.From], w.e.To)
+		}
+		for _, w := range waivedEdges {
+			if path := findPath(graph, w.e.To, w.e.From); path != nil {
+				cycle := append([]string{w.e.From}, path...)
+				c.reportOnce(w.pos, "cycle:"+w.e.From+"->"+w.e.To,
+					"waived acquisition of %s while holding %s completes a lock cycle (%s): threads taking these locks in different orders can deadlock", w.e.To, w.e.From, strings.Join(cycle, " -> "))
+			}
+		}
+	}
+}
+
+// classPkg extracts the package path from a lock class
+// ("a/b/c.Type.field" or "a/b/c.var" → "a/b/c").
+func classPkg(class string) string {
+	slash := strings.LastIndex(class, "/")
+	dot := strings.Index(class[slash+1:], ".")
+	if dot < 0 {
+		return class
+	}
+	return class[:slash+1+dot]
+}
+
+// findPath returns a path from → ... → to in graph, nil when none.
+func findPath(graph map[string][]string, from, to string) []string {
+	seen := map[string]bool{}
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		if n == to {
+			return []string{n}
+		}
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		next := append([]string(nil), graph[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			if p := dfs(m); p != nil {
+				return append([]string{n}, p...)
+			}
+		}
+		return nil
+	}
+	return dfs(from)
+}
+
+func (c *checker) reportOnce(pos token.Pos, key, format string, args ...any) {
+	k := itoa(int(pos)) + ":" + key
+	if c.reported[k] {
+		return
+	}
+	c.reported[k] = true
+	c.pass.Reportf(pos, format, args...)
+}

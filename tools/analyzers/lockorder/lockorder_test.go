@@ -1,0 +1,69 @@
+package lockorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"mmutricks/tools/analyzers/analysistest"
+	"mmutricks/tools/analyzers/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	saved := lockorder.AllowedEdges
+	lockorder.AllowedEdges = append(append([]lockorder.Edge(nil), saved...),
+		// The fixture's pinned order, and a stale row the fixture no
+		// longer exhibits.
+		lockorder.Edge{From: "order.pair.a", To: "order.pair.b"},
+		lockorder.Edge{From: "order.pair.b", To: "order.pair.ghost"},
+	)
+	defer func() { lockorder.AllowedEdges = saved }()
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "order", "order/sub")
+}
+
+// TestAllowedEdgesAcyclic pins the pinned order itself: the committed
+// table must be a DAG (the analyzer proves reality follows the table;
+// this test proves the table cannot legitimize a deadlock) and its
+// classes must be well-formed package-qualified declaration sites.
+func TestAllowedEdgesAcyclic(t *testing.T) {
+	graph := map[string][]string{}
+	for _, e := range lockorder.AllowedEdges {
+		for _, class := range []string{e.From, e.To} {
+			rest := class
+			if i := strings.LastIndex(class, "/"); i >= 0 {
+				rest = class[i+1:]
+			}
+			if !strings.Contains(rest, ".") {
+				t.Errorf("AllowedEdges class %q is not a package-qualified declaration site", class)
+			}
+		}
+		if e.From == e.To {
+			t.Errorf("AllowedEdges row %s -> %s is a self-edge", e.From, e.To)
+		}
+		graph[e.From] = append(graph[e.From], e.To)
+	}
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string, trail []string)
+	visit = func(n string, trail []string) {
+		color[n] = grey
+		for _, m := range graph[n] {
+			switch color[m] {
+			case grey:
+				t.Errorf("AllowedEdges contains a cycle through %s (trail %v)", m, append(trail, n, m))
+			case white:
+				visit(m, append(trail, n))
+			}
+		}
+		color[n] = black
+	}
+	for n := range graph {
+		if color[n] == white {
+			visit(n, nil)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package order is the lockorder fixture: the pinned a → b order (the
+// test extends AllowedEdges with it), a planted reversal, a self-edge,
+// a helper-mediated edge, a cross-package edge, a waived reversal that
+// still completes a cycle, and a stale table row (also planted by the
+// test) reported on the package clause below.
+package order // want `pinned lock-order edge order\.pair\.b -> order\.pair\.ghost is no longer exhibited`
+
+import (
+	"sync"
+
+	"order/sub"
+)
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// ordered follows the pinned a → b order: clean.
+func (p *pair) ordered() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// reversed plants the b → a order, which no table row allows.
+func (p *pair) reversed() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring order\.pair\.a while holding order\.pair\.b is not in the pinned lock order`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// selfEdge takes the same lock class twice, on distinct instances.
+func selfEdge(p1, p2 *pair) {
+	p1.a.Lock()
+	p2.a.Lock() // want `acquires order\.pair\.a while an instance of the same lock class is already held`
+	p2.a.Unlock()
+	p1.a.Unlock()
+}
+
+// Package-level locks: the muX → muY edge is reached through a helper,
+// so it only exists via the transitive acquisition summary.
+var (
+	muX sync.Mutex
+	muY sync.Mutex
+)
+
+func lockY() {
+	muY.Lock()
+	muY.Unlock()
+}
+
+func nested() {
+	muX.Lock()
+	lockY() // want `acquiring order\.muY while holding order\.muX is not in the pinned lock order`
+	muX.Unlock()
+}
+
+// crossPkg nests another package's lock: the summary descends into
+// sub.Touch's body across the package boundary.
+func crossPkg() {
+	muX.Lock()
+	sub.Touch() // want `acquiring order/sub\.sMu while holding order\.muX is not in the pinned lock order`
+	muX.Unlock()
+}
+
+// concurrent does NOT create an edge: the goroutine runs unnested.
+func concurrent() {
+	muX.Lock()
+	go lockY()
+	muX.Unlock()
+}
+
+// waivedCycle: the waiver silences the table check, but the reversal
+// still closes a cycle with the pinned a → b row and stays reported.
+func (p *pair) waivedCycle() {
+	p.b.Lock()
+	p.a.Lock() //mmutricks:lockorder-ok fixture: deliberately reversed // want `completes a lock cycle \(order\.pair\.b -> order\.pair\.a -> order\.pair\.b\)`
+	p.a.Unlock()
+	p.b.Unlock()
+}

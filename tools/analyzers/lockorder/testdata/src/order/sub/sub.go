@@ -1,0 +1,13 @@
+// Package sub provides a locked entry point for the cross-package
+// lockorder fixture.
+package sub
+
+import "sync"
+
+var sMu sync.Mutex
+
+// Touch takes the package lock briefly.
+func Touch() {
+	sMu.Lock()
+	sMu.Unlock()
+}

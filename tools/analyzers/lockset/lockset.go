@@ -1,0 +1,616 @@
+// Package lockset is the shared held-lock machinery behind the
+// guardedby and lockorder proof passes: mutex-operation recognition,
+// stable per-function lock instance keys, and a path-sensitive abstract
+// interpreter that walks one function body tracking which locks are
+// held at every node.
+//
+// The abstraction is deliberately simple and sound-by-construction for
+// the shapes this repo writes:
+//
+//   - A lock instance is a pure selector chain rooted at a variable
+//     (s.mu, g.mu, s.journal.mu) or a package-level var (poolMu).
+//     Anything else (locks in slices, behind interfaces, returned from
+//     calls) never registers as held, so accesses it guards are
+//     reported rather than silently trusted.
+//   - Branches fork the held set and merge by intersection; a branch
+//     that terminates (return, panic, os.Exit, break/continue) drops
+//     out of the merge, which is what makes the early-unlock-and-return
+//     idiom prove clean.
+//   - defer mu.Unlock() does not release: the lock stays held to the
+//     end of the body, exactly the guarantee the idiom provides.
+//   - Loop bodies are interpreted twice when the first pass changes the
+//     held set, so a lock released inside an iteration is not presumed
+//     held by the next one.
+//   - Function literals are NOT walked by Walk: a closure body runs at
+//     an unknown time, so analyzers walk each FuncLit separately with
+//     an empty entry set. Calls launched by `go` are reported to the
+//     OnCall hook with an empty held set for the same reason.
+package lockset
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mode is the strength with which a lock is held.
+type Mode int
+
+const (
+	// Exclusive: held via Lock.
+	Exclusive Mode = iota
+	// Reader: held via RLock — enough to guard reads, not writes.
+	Reader
+)
+
+// Key identifies one mutex instance within a function: the root object
+// the selector chain starts from (a receiver, parameter, local, or a
+// package-level var) plus the dot-joined field path to the mutex
+// ("mu", "journal.mu"; empty for a package-level var). Embedded fields
+// are expanded to their full path, so a promoted selector and an
+// explicit one agree.
+type Key struct {
+	Root types.Object
+	Path string
+}
+
+// String renders the key for diagnostics: "s.mu" or "poolMu".
+func (k Key) String() string {
+	if k.Path == "" {
+		return k.Root.Name()
+	}
+	return k.Root.Name() + "." + k.Path
+}
+
+// Held maps the lock instances provably held at a program point to the
+// strength they are held with.
+type Held map[Key]Mode
+
+// Clone copies a held set.
+func (h Held) Clone() Held {
+	out := make(Held, len(h))
+	for k, m := range h {
+		out[k] = m
+	}
+	return out
+}
+
+// Intersect keeps the locks held in both sets, at the weaker strength.
+func Intersect(a, b Held) Held {
+	out := Held{}
+	for k, ma := range a {
+		mb, ok := b[k]
+		if !ok {
+			continue
+		}
+		m := ma
+		if mb == Reader {
+			m = Reader
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// Equal reports whether two held sets hold the same locks at the same
+// strengths.
+func Equal(a, b Held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, m := range a {
+		if mb, ok := b[k]; !ok || mb != m {
+			return false
+		}
+	}
+	return true
+}
+
+// Op classifies a call as a mutex operation.
+type Op int
+
+const (
+	OpNone Op = iota
+	OpLock
+	OpUnlock
+	OpRLock
+	OpRUnlock
+)
+
+// IsMutexType reports whether t (possibly a pointer) is sync.Mutex or
+// sync.RWMutex; rw reports which.
+func IsMutexType(t types.Type) (isMutex, rw bool) {
+	if t == nil {
+		return false, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// MutexOp classifies call as a Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex reached through a resolvable selector
+// chain. op is OpNone when the call is not a mutex operation; ok is
+// false when it is one but the receiver chain cannot be keyed (the
+// walker then leaves the held set unchanged, which is conservative).
+func MutexOp(info *types.Info, call *ast.CallExpr) (k Key, class string, op Op, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return Key{}, "", OpNone, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		op = OpLock
+	case "Unlock":
+		op = OpUnlock
+	case "RLock":
+		op = OpRLock
+	case "RUnlock":
+		op = OpRUnlock
+	default:
+		return Key{}, "", OpNone, false
+	}
+	tv, okT := info.Types[sel.X]
+	if !okT {
+		return Key{}, "", OpNone, false
+	}
+	if isMutex, _ := IsMutexType(tv.Type); !isMutex {
+		return Key{}, "", OpNone, false
+	}
+	k, class, ok = ExprKey(info, sel.X)
+	return k, class, op, ok
+}
+
+// ExprKey resolves a pure selector chain (s.mu, s.journal.mu, poolMu,
+// pkg.Var) to its instance key and its lock class. The class is the
+// package-qualified declaration site — "path/to/pkg.Type.field" for a
+// struct field, "path/to/pkg.var" for a package-level var — and is
+// what the lockorder DAG is keyed by. ok is false for anything that is
+// not a chain of plain field selections rooted at a variable.
+func ExprKey(info *types.Info, e ast.Expr) (k Key, class string, ok bool) {
+	root, parts, owner, ok := chain(info, e)
+	if !ok {
+		return Key{}, "", false
+	}
+	k = Key{Root: root, Path: strings.Join(parts, ".")}
+	if len(parts) == 0 {
+		if root.Pkg() != nil {
+			class = root.Pkg().Path() + "." + root.Name()
+		}
+		return k, class, true
+	}
+	if owner != nil {
+		if p, okP := owner.Underlying().(*types.Pointer); okP {
+			owner = p.Elem()
+		}
+		if named, okN := owner.(*types.Named); okN && named.Obj().Pkg() != nil {
+			class = named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + parts[len(parts)-1]
+		}
+	}
+	return k, class, true
+}
+
+// chain decomposes e into a root variable plus the expanded field path,
+// returning the type owning the final field (for class naming).
+func chain(info *types.Info, e ast.Expr) (root types.Object, parts []string, owner types.Type, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, okV := obj.(*types.Var); okV {
+			return v, nil, nil, true
+		}
+		return nil, nil, nil, false
+	case *ast.StarExpr:
+		return chain(info, x.X)
+	case *ast.SelectorExpr:
+		// Package-qualified var: pkg.Var.
+		if id, okI := ast.Unparen(x.X).(*ast.Ident); okI {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, okV := info.Uses[x.Sel].(*types.Var); okV {
+					return v, nil, nil, true
+				}
+				return nil, nil, nil, false
+			}
+		}
+		selinfo, okS := info.Selections[x]
+		if !okS || selinfo.Kind() != types.FieldVal {
+			return nil, nil, nil, false
+		}
+		root, parts, _, ok = chain(info, x.X)
+		if !ok {
+			return nil, nil, nil, false
+		}
+		// Expand the (possibly embedded) field index path so promoted
+		// and explicit selectors key identically.
+		t := selinfo.Recv()
+		for _, idx := range selinfo.Index() {
+			if p, okP := t.Underlying().(*types.Pointer); okP {
+				t = p.Elem()
+			}
+			st, okSt := t.Underlying().(*types.Struct)
+			if !okSt {
+				return nil, nil, nil, false
+			}
+			f := st.Field(idx)
+			parts = append(parts, f.Name())
+			owner = t
+			t = f.Type()
+		}
+		return root, parts, owner, true
+	}
+	return nil, nil, nil, false
+}
+
+// Hooks are the analyzer callbacks the walker drives.
+type Hooks struct {
+	// OnNode fires for every expression node in evaluation order with
+	// the held set at that point. Loop bodies may fire twice per node
+	// (two-pass interpretation); analyzers dedupe diagnostics.
+	OnNode func(n ast.Node, held Held)
+	// OnAcquire fires when a Lock/RLock executes, with the held set
+	// BEFORE the new lock is added (the lockorder edge source set).
+	OnAcquire func(call *ast.CallExpr, k Key, class string, m Mode, held Held)
+	// OnCall fires for every non-mutex-op call with the held set at the
+	// call. Calls launched by `go` fire with an empty held set (they
+	// run concurrently); deferred calls fire with the set at the defer
+	// statement.
+	OnCall func(call *ast.CallExpr, held Held)
+}
+
+// Walk interprets body with the given entry held set, driving hooks.
+// It does not descend into function literals — walk those separately
+// with an empty entry set.
+func Walk(info *types.Info, body *ast.BlockStmt, entry Held, hooks Hooks) {
+	w := &walker{info: info, hooks: hooks}
+	if entry == nil {
+		entry = Held{}
+	}
+	w.block(body, entry.Clone())
+}
+
+type walker struct {
+	info  *types.Info
+	hooks Hooks
+}
+
+// block interprets a statement list, returning the exit held set and
+// whether control never falls out the bottom.
+func (w *walker) block(b *ast.BlockStmt, h Held) (Held, bool) {
+	if b == nil {
+		return h, false
+	}
+	return w.stmts(b.List, h)
+}
+
+func (w *walker) stmts(list []ast.Stmt, h Held) (Held, bool) {
+	for _, s := range list {
+		var term bool
+		h, term = w.stmt(s, h)
+		if term {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+// stmt interprets one statement; the returned bool reports termination
+// (return, panic, os.Exit, break/continue/goto — control does not reach
+// the next statement of the enclosing block).
+func (w *walker) stmt(s ast.Stmt, h Held) (Held, bool) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return h, false
+	case *ast.BlockStmt:
+		return w.block(s, h)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, h)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if k, class, op, okKey := w.mutexOp(call, h); op != OpNone {
+				return w.applyOp(call, k, class, op, okKey, h), false
+			}
+		}
+		w.expr(s.X, h)
+		return h, w.terminates(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, h)
+		}
+		return h, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, okV := spec.(*ast.ValueSpec); okV {
+					for _, v := range vs.Values {
+						w.expr(v, h)
+					}
+				}
+			}
+		}
+		return h, false
+	case *ast.IncDecStmt:
+		w.expr(s.X, h)
+		return h, false
+	case *ast.SendStmt:
+		w.expr(s.Value, h)
+		w.expr(s.Chan, h)
+		return h, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, h)
+		}
+		return h, true
+	case *ast.BranchStmt:
+		return h, true
+	case *ast.DeferStmt:
+		if _, _, op, _ := MutexOp(w.info, s.Call); op == OpUnlock || op == OpRUnlock {
+			// Deferred unlock: the lock stays held to the end of the
+			// body; only walk the receiver chain for OnNode.
+			if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+				w.expr(sel.X, h)
+			}
+			return h, false
+		}
+		w.expr(s.Call, h)
+		return h, false
+	case *ast.GoStmt:
+		// Arguments and the callee chain are evaluated now, under h;
+		// the call itself runs concurrently with nothing held.
+		for _, a := range s.Call.Args {
+			w.expr(a, h)
+		}
+		w.exprNodesOnly(s.Call.Fun, h)
+		if w.hooks.OnCall != nil {
+			w.hooks.OnCall(s.Call, Held{})
+		}
+		return h, false
+	case *ast.IfStmt:
+		h, _ = w.stmt(s.Init, h)
+		w.expr(s.Cond, h)
+		thenH, thenT := w.block(s.Body, h.Clone())
+		elseH, elseT := h, false
+		if s.Else != nil {
+			elseH, elseT = w.stmt(s.Else, h.Clone())
+		}
+		switch {
+		case thenT && elseT:
+			return h, true
+		case thenT:
+			return elseH, false
+		case elseT:
+			return thenH, false
+		default:
+			return Intersect(thenH, elseH), false
+		}
+	case *ast.ForStmt:
+		h, _ = w.stmt(s.Init, h)
+		exit := w.loopPass(s.Cond, s.Body, s.Post, h)
+		after := h
+		if exit != nil {
+			if !Equal(exit, h) {
+				entry2 := Intersect(h, exit)
+				if exit2 := w.loopPass(s.Cond, s.Body, s.Post, entry2); exit2 != nil {
+					exit = exit2
+				}
+			}
+			after = Intersect(h, exit)
+		}
+		return after, false
+	case *ast.RangeStmt:
+		w.expr(s.X, h)
+		w.expr(s.Key, h)
+		w.expr(s.Value, h)
+		exit := w.loopPass(nil, s.Body, nil, h)
+		after := h
+		if exit != nil {
+			if !Equal(exit, h) {
+				entry2 := Intersect(h, exit)
+				if exit2 := w.loopPass(nil, s.Body, nil, entry2); exit2 != nil {
+					exit = exit2
+				}
+			}
+			after = Intersect(h, exit)
+		}
+		return after, false
+	case *ast.SwitchStmt:
+		h, _ = w.stmt(s.Init, h)
+		w.expr(s.Tag, h)
+		return w.caseMerge(s.Body, h, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		h, _ = w.stmt(s.Init, h)
+		h, _ = w.stmt(s.Assign, h)
+		return w.caseMerge(s.Body, h, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		// Every comm clause is a possible sole successor; with no
+		// default, one of them always runs eventually, so the merge is
+		// over the clauses alone — but falling back to h is the safe
+		// (smaller) answer either way, so treat select like a switch
+		// without a default.
+		return w.caseMerge(s.Body, h, false)
+	default:
+		return h, false
+	}
+}
+
+// loopPass interprets one loop iteration; nil means the body never
+// completes an iteration (it always terminates early).
+func (w *walker) loopPass(cond ast.Expr, body *ast.BlockStmt, post ast.Stmt, h Held) Held {
+	w.expr(cond, h)
+	exit, term := w.block(body, h.Clone())
+	if term {
+		return nil
+	}
+	exit, _ = w.stmt(post, exit)
+	return exit
+}
+
+// caseMerge interprets each clause body of a switch/select from h and
+// intersects the non-terminating exits; unless the statement has a
+// default clause, h itself joins the merge (the no-case-taken path).
+func (w *walker) caseMerge(body *ast.BlockStmt, h Held, withDefault bool) (Held, bool) {
+	var exits []Held
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, h)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			ch := h.Clone()
+			ch, _ = w.stmt(c.Comm, ch)
+			exit, term := w.stmts(c.Body, ch)
+			if !term {
+				exits = append(exits, exit)
+			}
+			continue
+		default:
+			continue
+		}
+		exit, term := w.stmts(stmts, h.Clone())
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !withDefault {
+		exits = append(exits, h)
+	}
+	if len(exits) == 0 {
+		return h, true
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = Intersect(out, e)
+	}
+	return out, false
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if c, ok := cs.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp wraps MutexOp, firing OnNode over the receiver chain (the
+// chain is evaluated like any expression).
+func (w *walker) mutexOp(call *ast.CallExpr, h Held) (Key, string, Op, bool) {
+	k, class, op, ok := MutexOp(w.info, call)
+	if op != OpNone {
+		if sel, okS := ast.Unparen(call.Fun).(*ast.SelectorExpr); okS {
+			w.expr(sel.X, h)
+		}
+	}
+	return k, class, op, ok
+}
+
+// applyOp transitions the held set for a statement-level mutex op.
+func (w *walker) applyOp(call *ast.CallExpr, k Key, class string, op Op, okKey bool, h Held) Held {
+	if !okKey {
+		return h // unkeyable mutex: never record as held
+	}
+	switch op {
+	case OpLock:
+		if w.hooks.OnAcquire != nil {
+			w.hooks.OnAcquire(call, k, class, Exclusive, h)
+		}
+		h[k] = Exclusive
+	case OpRLock:
+		if w.hooks.OnAcquire != nil {
+			w.hooks.OnAcquire(call, k, class, Reader, h)
+		}
+		if _, held := h[k]; !held {
+			h[k] = Reader
+		}
+	case OpUnlock, OpRUnlock:
+		delete(h, k)
+	}
+	return h
+}
+
+// expr fires OnNode for every node of e in evaluation order and OnCall
+// for every non-mutex-op call, without descending into FuncLits.
+func (w *walker) expr(e ast.Expr, h Held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if w.hooks.OnNode != nil {
+			w.hooks.OnNode(n, h)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, op, _ := MutexOp(w.info, call); op == OpNone && w.hooks.OnCall != nil {
+				w.hooks.OnCall(call, h)
+			}
+		}
+		return true
+	})
+}
+
+// exprNodesOnly fires OnNode without OnCall (the `go` callee chain).
+func (w *walker) exprNodesOnly(e ast.Expr, h Held) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if w.hooks.OnNode != nil {
+			w.hooks.OnNode(n, h)
+		}
+		return true
+	})
+}
+
+// terminates reports whether the expression statement never returns:
+// the panic builtin, os.Exit, or runtime.Goexit.
+func (w *walker) terminates(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, okB := w.info.Uses[fun].(*types.Builtin); okB && b.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, okF := w.info.Uses[fun.Sel].(*types.Func); okF && fn.Pkg() != nil {
+			full := fn.Pkg().Path() + "." + fn.Name()
+			if full == "os.Exit" || full == "runtime.Goexit" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -11,7 +11,8 @@
 //   - Prove: whole-program proofs run by mmuprove — transitive noalloc
 //     over the call graph, determinism of byte-identical output
 //     packages, counter↔trace parity, model↔kernel transition
-//     parity, and telemetry phase-span balance.
+//     parity, telemetry phase-span balance, the guarded-by mutex
+//     discipline, and the pinned lock-acquisition order.
 //   - Extra: registered and selectable via -run, but in no default set.
 //     The single-function noalloc pass lives here: noalloctrans
 //     subsumes it, and running both would double-report.
@@ -28,8 +29,10 @@ import (
 	"mmutricks/tools/analyzers/cyclecost"
 	"mmutricks/tools/analyzers/determinism"
 	"mmutricks/tools/analyzers/driver"
+	"mmutricks/tools/analyzers/guardedby"
 	"mmutricks/tools/analyzers/invariantcheck"
 	"mmutricks/tools/analyzers/load"
+	"mmutricks/tools/analyzers/lockorder"
 	"mmutricks/tools/analyzers/noalloc"
 	"mmutricks/tools/analyzers/noalloctrans"
 	"mmutricks/tools/analyzers/parity"
@@ -52,6 +55,8 @@ var Prove = []*analysis.Analyzer{
 	parity.Analyzer,
 	transitions.Analyzer,
 	phasebalance.Analyzer,
+	guardedby.Analyzer,
+	lockorder.Analyzer,
 }
 
 // Extra holds analyzers in no default set, still selectable via -run.
